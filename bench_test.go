@@ -1,0 +1,220 @@
+// Top-level benchmarks: one per figure in the paper's evaluation (Figs. 2-4
+// and 6-8, plus the Sec. III-C complexity study), each driving the same
+// runner as cmd/roabench at reduced scale, plus micro-benchmarks of the
+// computational kernels (sparse solves, MUSIC spectra, dictionary builds).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package roarray_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"roarray"
+	"roarray/internal/core"
+	"roarray/internal/experiments"
+	"roarray/internal/music"
+	"roarray/internal/sparse"
+	"roarray/internal/wireless"
+)
+
+// benchOptions keeps per-iteration work bounded so the full bench suite
+// finishes in minutes; raise via cmd/roabench for paper-scale runs.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Seed:        1,
+		Locations:   2,
+		Packets:     5,
+		APs:         4,
+		ThetaPoints: 31,
+		TauPoints:   12,
+		SolverIters: 80,
+	}
+}
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	runner, _ := experiments.Get(id)
+	if runner == nil {
+		b.Fatalf("figure %s not registered", id)
+	}
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner(io.Discard, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2MusicSpectrumVsSNR(b *testing.B)  { runFigure(b, "2") }
+func BenchmarkFig3IterativeSharpening(b *testing.B) { runFigure(b, "3") }
+func BenchmarkFig4JointSpectrum(b *testing.B)       { runFigure(b, "4") }
+func BenchmarkFig6Localization(b *testing.B)        { runFigure(b, "6") }
+func BenchmarkFig7AoAAccuracy(b *testing.B)         { runFigure(b, "7") }
+func BenchmarkFig8aVaryAPs(b *testing.B)            { runFigure(b, "8a") }
+func BenchmarkFig8bCalibration(b *testing.B)        { runFigure(b, "8b") }
+func BenchmarkFig8cPolarization(b *testing.B)       { runFigure(b, "8c") }
+func BenchmarkComplexityJointSolveSweep(b *testing.B) {
+	runFigure(b, "cx")
+}
+func BenchmarkAblationOffGrid(b *testing.B) { runFigure(b, "og") }
+func BenchmarkAblationSolvers(b *testing.B) { runFigure(b, "ab") }
+func BenchmarkAblationFusion(b *testing.B)  { runFigure(b, "fs") }
+
+// --- Kernel micro-benchmarks -------------------------------------------
+
+func benchChannel(b *testing.B) (*roarray.Estimator, []*roarray.CSI) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	arr := roarray.Intel5300Array()
+	ofdm := roarray.Intel5300OFDM()
+	est, err := roarray.NewEstimator(roarray.Config{
+		Array:     arr,
+		OFDM:      ofdm,
+		ThetaGrid: roarray.UniformGrid(0, 180, 61),
+		TauGrid:   roarray.UniformGrid(0, ofdm.MaxToA(), 25),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	burst, err := roarray.GenerateBurst(&roarray.ChannelConfig{
+		Array: arr, OFDM: ofdm,
+		Paths: []roarray.Path{
+			{AoADeg: 120, ToA: 60e-9, Gain: 1},
+			{AoADeg: 40, ToA: 260e-9, Gain: 0.7},
+		},
+		SNRdB:             8,
+		MaxDetectionDelay: 200e-9,
+	}, 15, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return est, burst
+}
+
+// BenchmarkJointSolveSinglePacket measures one Eq. 18 sparse solve — the
+// unit of work behind every ROArray spectrum.
+func BenchmarkJointSolveSinglePacket(b *testing.B) {
+	est, burst := benchChannel(b)
+	if _, err := est.EstimateJoint(burst[0]); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateJoint(burst[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointSolveFused15 measures the l1-SVD fusion of a 15-packet
+// burst (the paper's per-link working point for Figs. 6-7).
+func BenchmarkJointSolveFused15(b *testing.B) {
+	est, burst := benchChannel(b)
+	if _, err := est.EstimateJointFused(burst); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateJointFused(burst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpotFiJointSpectrum measures the baseline's smoothed MUSIC
+// spectrum on one packet, the cost SpotFi pays per packet.
+func BenchmarkSpotFiJointSpectrum(b *testing.B) {
+	_, burst := benchChannel(b)
+	cfg := &music.SpotFiConfig{Array: roarray.Intel5300Array(), OFDM: roarray.Intel5300OFDM()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := music.JointSpectrum(cfg, burst[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrayTrackSpatialMUSIC measures the spatial-only MUSIC estimate.
+func BenchmarkArrayTrackSpatialMUSIC(b *testing.B) {
+	_, burst := benchChannel(b)
+	cfg := &music.SpatialConfig{Array: roarray.Intel5300Array()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := music.SpatialSpectrum(cfg, burst[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDictionaryBuild measures joint dictionary construction at the
+// paper's Ntheta=90, Ntau=50 working point.
+func BenchmarkDictionaryBuild(b *testing.B) {
+	arr := roarray.Intel5300Array()
+	ofdm := roarray.Intel5300OFDM()
+	theta := roarray.UniformGrid(0, 180, 90)
+	tau := roarray.UniformGrid(0, ofdm.MaxToA(), 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildJointDictionary(arr, ofdm, theta, tau)
+	}
+}
+
+// BenchmarkADMMvsFISTA compares the two convex solvers on the same LASSO
+// instance (an ablation the paper's Sec. III-C cost discussion motivates).
+func BenchmarkADMMvsFISTA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	arr := roarray.Intel5300Array()
+	ofdm := roarray.Intel5300OFDM()
+	dict := core.BuildJointDictionary(arr, ofdm,
+		roarray.UniformGrid(0, 180, 46), roarray.UniformGrid(0, ofdm.MaxToA(), 20))
+	csi, err := wireless.Generate(&wireless.ChannelConfig{
+		Array: arr, OFDM: ofdm,
+		Paths: []wireless.Path{{AoADeg: 120, ToA: 60e-9, Gain: 1}},
+		SNRdB: 10,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := csi.StackedVector()
+	for _, method := range []sparse.Method{sparse.MethodADMM, sparse.MethodFISTA} {
+		b.Run(method.String(), func(b *testing.B) {
+			solver, err := sparse.NewSolver(dict, sparse.WithMethod(method), sparse.WithMaxIters(120))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(y, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalizeGridSearch measures the Eq. 19 grid search over the
+// 18 m x 12 m room at 10 cm resolution.
+func BenchmarkLocalizeGridSearch(b *testing.B) {
+	dep := roarray.DefaultDeployment()
+	obs := make([]roarray.APObservation, len(dep.APs))
+	target := roarray.Point{X: 7, Y: 5}
+	for i, ap := range dep.APs {
+		obs[i] = roarray.APObservation{
+			Pos:     ap.Pos,
+			AxisDeg: ap.AxisDeg,
+			AoADeg:  roarray.ExpectedAoA(ap.Pos, ap.AxisDeg, target),
+			RSSIdBm: -50,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := roarray.Localize(obs, dep.Room, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

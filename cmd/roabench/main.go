@@ -1,0 +1,68 @@
+// Command roabench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	roabench -fig 6 -locations 40            # Fig. 6 at 40 client placements
+//	roabench -fig all -locations 10          # every figure, quick settings
+//	roabench -fig cx                         # Sec. III-C complexity table
+//
+// Figure ids: 2, 3, 4, 6, 7, 8a, 8b, 8c, cx, plus the ablations og
+// (off-grid sensitivity) and ab (solver comparison); "all" runs the paper
+// figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"roarray/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "roabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("roabench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,6,7,8a,8b,8c,cx, ablations og/ab, or all")
+	seed := fs.Int64("seed", 1, "random seed")
+	locations := fs.Int("locations", 0, "client placements for Figs. 6-8 (0 = default 10; paper used 300)")
+	packets := fs.Int("packets", 0, "packets per estimate (0 = default 15)")
+	aps := fs.Int("aps", 0, "APs used for localization (0 = default 6)")
+	theta := fs.Int("theta", 0, "ROArray AoA grid points (0 = default 46; paper 90)")
+	tau := fs.Int("tau", 0, "ROArray ToA grid points (0 = default 20; paper 50)")
+	iters := fs.Int("iters", 0, "solver iteration cap (0 = default 150)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := experiments.Options{
+		Seed:        *seed,
+		Locations:   *locations,
+		Packets:     *packets,
+		APs:         *aps,
+		ThetaPoints: *theta,
+		TauPoints:   *tau,
+		SolverIters: *iters,
+	}
+
+	ids := []string{*fig}
+	if strings.EqualFold(*fig, "all") {
+		ids = []string{"2", "3", "4", "6", "7", "8a", "8b", "8c", "cx"}
+	}
+	for _, id := range ids {
+		runner, valid := experiments.Get(id)
+		if runner == nil {
+			return fmt.Errorf("unknown figure %q (valid: %s, all)", id, strings.Join(valid, ", "))
+		}
+		if err := runner(os.Stdout, opt); err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+	}
+	return nil
+}

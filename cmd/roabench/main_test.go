@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full figure")
+	}
+	err := run([]string{
+		"-fig", "3",
+		"-locations", "1", "-packets", "2",
+		"-theta", "31", "-tau", "12", "-iters", "40",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command roasim synthesizes CSI trace files from the simulated testbed —
+// the counterpart to cmd/roalocate: roasim writes the measurements a capture
+// AP would forward, and any consumer (including the roarray library itself)
+// can replay them offline.
+//
+// Usage:
+//
+//	roasim -out trace.json -ap 0 -x 7.5 -y 4.5 -packets 15 -band medium
+//	roasim -out - | some-other-tool        # write to stdout
+//
+// The output is the wireless.Trace JSON format (one link's burst plus the
+// radio configuration). Ground truth (client position, direct-path AoA) is
+// printed to stderr so captures stay machine-clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"roarray"
+	"roarray/internal/testbed"
+	"roarray/internal/wireless"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "roasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("roasim", flag.ContinueOnError)
+	out := fs.String("out", "-", "output path for the trace JSON ('-' for stdout)")
+	apIndex := fs.Int("ap", 0, "AP index within the default deployment (0-5)")
+	x := fs.Float64("x", 9, "client x position (meters)")
+	y := fs.Float64("y", 6, "client y position (meters)")
+	packets := fs.Int("packets", 15, "number of packets to capture")
+	band := fs.String("band", "medium", "SNR band: high, medium, or low")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var snrBand testbed.SNRBand
+	switch strings.ToLower(*band) {
+	case "high":
+		snrBand = testbed.BandHigh
+	case "medium":
+		snrBand = testbed.BandMedium
+	case "low":
+		snrBand = testbed.BandLow
+	default:
+		return fmt.Errorf("unknown band %q (want high, medium, or low)", *band)
+	}
+	if *packets < 1 {
+		return fmt.Errorf("packets must be >= 1, got %d", *packets)
+	}
+
+	dep := roarray.DefaultDeployment()
+	if *apIndex < 0 || *apIndex >= len(dep.APs) {
+		return fmt.Errorf("AP index %d out of range (0-%d)", *apIndex, len(dep.APs)-1)
+	}
+	client := roarray.Point{X: *x, Y: *y}
+	if !dep.Room.Contains(client) {
+		return fmt.Errorf("client (%v, %v) outside the %vx%v m room", *x, *y,
+			dep.Room.MaxX-dep.Room.MinX, dep.Room.MaxY-dep.Room.MinY)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	sc, err := dep.GenerateScenario(client, roarray.ScenarioConfig{Band: snrBand}, rng)
+	if err != nil {
+		return err
+	}
+	link := sc.Links[*apIndex]
+	burst, err := roarray.GenerateBurst(link.Channel, *packets, rng)
+	if err != nil {
+		return err
+	}
+	trace, err := wireless.NewTrace(dep.Array, dep.OFDM, burst)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Fprintf(stderr, "captured %d packets at AP %d (%.1f, %.1f): client (%.2f, %.2f), true direct AoA %.1f deg, SNR %.1f dB, RSSI %.1f dBm\n",
+		*packets, *apIndex, link.AP.Pos.X, link.AP.Pos.Y,
+		client.X, client.Y, link.TrueAoADeg, link.Channel.SNRdB, link.RSSIdBm)
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"roarray"
+	"roarray/internal/wireless"
+)
+
+func TestRoasimRoundTripThroughEstimator(t *testing.T) {
+	var out, errs bytes.Buffer
+	err := run([]string{
+		"-ap", "1", "-x", "12", "-y", "6",
+		"-packets", "8", "-band", "high", "-seed", "2",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs.Len() == 0 {
+		t.Fatal("ground-truth summary missing from stderr")
+	}
+
+	// Replay the captured trace through the estimator: the direct-path AoA
+	// must match the geometry of AP 1 at (17.9, 6) seeing a client at (12, 6).
+	trace, err := wireless.ReadTrace(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := trace.Burst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(burst) != 8 {
+		t.Fatalf("trace has %d packets, want 8", len(burst))
+	}
+	est, err := roarray.NewEstimator(roarray.Config{
+		Array:     trace.Array,
+		OFDM:      trace.OFDM,
+		ThetaGrid: roarray.UniformGrid(0, 180, 61),
+		TauGrid:   roarray.UniformGrid(0, trace.OFDM.MaxToA(), 25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := est.EstimateDirectAoA(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := roarray.DefaultDeployment()
+	want := roarray.ExpectedAoA(dep.APs[1].Pos, dep.APs[1].AxisDeg, roarray.Point{X: 12, Y: 6})
+	if math.Abs(direct.ThetaDeg-want) > 8 {
+		t.Fatalf("replayed direct AoA %.1f, want ~%.1f", direct.ThetaDeg, want)
+	}
+}
+
+func TestRoasimValidation(t *testing.T) {
+	var out, errs bytes.Buffer
+	cases := [][]string{
+		{"-band", "bogus"},
+		{"-packets", "0"},
+		{"-ap", "99"},
+		{"-x", "-5"},
+		{"-definitely-not-a-flag"},
+	}
+	for i, args := range cases {
+		if err := run(args, &out, &errs); err == nil {
+			t.Fatalf("case %d (%v) should error", i, args)
+		}
+	}
+}

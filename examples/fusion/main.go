@@ -1,0 +1,80 @@
+// Command fusion demonstrates coherent multi-packet fusion (paper Sec.
+// III-D and Fig. 4): individual packets carry different unknown detection
+// delays, so naive averaging smears the ToA axis; ROArray estimates the
+// relative delays from the subcarrier phase ramps, aligns the packets, and
+// fuses them through the SVD (l1-SVD) to sharpen the joint spectrum.
+//
+// Run with:
+//
+//	go run ./examples/fusion
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"roarray"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fusion:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+	arr := roarray.Intel5300Array()
+	ofdm := roarray.Intel5300OFDM()
+	const trueAoA = 130.0
+
+	est, err := roarray.NewEstimator(roarray.Config{
+		Array:     arr,
+		OFDM:      ofdm,
+		ThetaGrid: roarray.UniformGrid(0, 180, 61),
+		TauGrid:   roarray.UniformGrid(0, ofdm.MaxToA(), 25),
+	})
+	if err != nil {
+		return err
+	}
+
+	// A noisy channel with a strong reflection and per-packet random
+	// detection delays of up to 250 ns.
+	ch := &roarray.ChannelConfig{
+		Array: arr, OFDM: ofdm,
+		Paths: []roarray.Path{
+			{AoADeg: trueAoA, ToA: 60e-9, Gain: 1},
+			{AoADeg: 50, ToA: 250e-9, Gain: 0.8},
+		},
+		SNRdB:             2,
+		MaxDetectionDelay: 250e-9,
+	}
+	burst, err := roarray.GenerateBurst(ch, 30, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Direct-path AoA error vs number of fused packets (truth 130 deg, 2 dB SNR):")
+	fmt.Printf("%10s %12s %12s\n", "packets", "AoA err", "sharpness")
+	for _, n := range []int{1, 2, 5, 10, 20, 30} {
+		spec, err := est.EstimateJointFused(burst[:n])
+		if err != nil {
+			return err
+		}
+		direct, err := est.DirectPath(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d %12.1f %12.1f\n", n, math.Abs(direct.ThetaDeg-trueAoA), spec.Sharpness())
+	}
+
+	fmt.Println("\nPer-packet detection delays (unknown to a real receiver):")
+	for i, p := range burst[:5] {
+		fmt.Printf("  packet %d: %.0f ns\n", i, p.DetectionDelay*1e9)
+	}
+	fmt.Println("Fusion aligns these internally before the SVD; see core.AlignToReference.")
+	return nil
+}

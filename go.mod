@@ -1,0 +1,3 @@
+module roarray
+
+go 1.22

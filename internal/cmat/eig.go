@@ -1,0 +1,157 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a Hermitian matrix: A = V diag(Values) Vᴴ.
+// Values are sorted ascending; column i of Vectors is the eigenvector for
+// Values[i].
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// EigHermitian computes the eigendecomposition of a Hermitian matrix using
+// the cyclic complex Jacobi method. The input is not modified. Matrices that
+// are not Hermitian within a loose tolerance are rejected.
+func EigHermitian(a *Matrix) (*Eigen, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("cmat: EigHermitian needs a square matrix, got %dx%d", n, a.Cols())
+	}
+	scale := a.MaxAbs()
+	if scale == 0 {
+		return &Eigen{Values: make([]float64, n), Vectors: Identity(n)}, nil
+	}
+	if !a.IsHermitian(1e-8 * math.Max(scale, 1)) {
+		return nil, fmt.Errorf("cmat: EigHermitian input is not Hermitian")
+	}
+
+	w := a.Clone()
+	// Symmetrize exactly so rounding in the input cannot accumulate.
+	for i := 0; i < n; i++ {
+		w.Set(i, i, complex(real(w.At(i, i)), 0))
+		for j := i + 1; j < n; j++ {
+			m := (w.At(i, j) + cmplx.Conj(w.At(j, i))) / 2
+			w.Set(i, j, m)
+			w.Set(j, i, cmplx.Conj(m))
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 60
+	tol := 1e-13 * scale
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= tol*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(w, v, p, q)
+			}
+		}
+	}
+
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: real(w.At(i, i)), idx: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+
+	out := &Eigen{Values: make([]float64, n), Vectors: New(n, n)}
+	for k, pr := range pairs {
+		out.Values[k] = pr.val
+		out.Vectors.SetCol(k, v.Col(pr.idx))
+	}
+	return out, nil
+}
+
+func offDiagNorm(a *Matrix) float64 {
+	n := a.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := a.At(i, j)
+			s += real(x)*real(x) + imag(x)*imag(x)
+		}
+	}
+	return math.Sqrt(2 * s)
+}
+
+// jacobiRotate zeroes a[p][q] (and a[q][p]) with a complex Givens rotation,
+// updating both the working matrix and the accumulated eigenvector matrix.
+func jacobiRotate(a, v *Matrix, p, q int) {
+	apq := a.At(p, q)
+	mag := cmplx.Abs(apq)
+	if mag == 0 {
+		return
+	}
+	app := real(a.At(p, p))
+	aqq := real(a.At(q, q))
+	// Phase factor of the off-diagonal element.
+	ph := apq / complex(mag, 0)
+
+	tau := (aqq - app) / (2 * mag)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	cs := complex(c, 0)
+	spq := complex(s, 0) * ph              // multiplies the q-column contribution
+	spqc := complex(s, 0) * cmplx.Conj(ph) // its conjugate
+
+	n := a.Rows()
+	// Right multiplication by U: columns p and q of every row.
+	for i := 0; i < n; i++ {
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, cs*aip-spqc*aiq)
+		a.Set(i, q, spq*aip+cs*aiq)
+	}
+	// Left multiplication by Uᴴ: rows p and q of every column.
+	for j := 0; j < n; j++ {
+		apj, aqj := a.At(p, j), a.At(q, j)
+		a.Set(p, j, cs*apj-spq*aqj)
+		a.Set(q, j, spqc*apj+cs*aqj)
+	}
+	// Clean the pivot pair and pin the diagonal to real.
+	a.Set(p, q, 0)
+	a.Set(q, p, 0)
+	a.Set(p, p, complex(real(a.At(p, p)), 0))
+	a.Set(q, q, complex(real(a.At(q, q)), 0))
+
+	// Accumulate eigenvectors: V = V * U.
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, cs*vip-spqc*viq)
+		v.Set(i, q, spq*vip+cs*viq)
+	}
+}
+
+// NoiseSubspace returns the eigenvectors associated with the n-k smallest
+// eigenvalues as the columns of an n x (n-k) matrix. It is the E_n matrix
+// used by MUSIC-style estimators with k signal sources.
+func (e *Eigen) NoiseSubspace(k int) *Matrix {
+	n := len(e.Values)
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("cmat: NoiseSubspace signal count %d out of range for %d eigenvalues", k, n))
+	}
+	en := New(n, n-k)
+	for j := 0; j < n-k; j++ {
+		en.SetCol(j, e.Vectors.Col(j))
+	}
+	return en
+}

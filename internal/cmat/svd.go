@@ -1,0 +1,128 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVD holds a thin singular value decomposition A = U diag(S) Vᴴ where A is
+// m x n, U is m x r, V is n x r and S has the r = min(m, n) singular values
+// in descending order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVDecompose computes a thin SVD of a via the eigendecomposition of the
+// smaller Gram matrix. This is accurate for the well-conditioned,
+// moderate-size problems in this repository (snapshot fusion and subspace
+// estimation) and avoids a full Golub-Kahan implementation.
+func SVDecompose(a *Matrix) (*SVD, error) {
+	m, n := a.Rows(), a.Cols()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("cmat: SVD of empty %dx%d matrix", m, n)
+	}
+	if m >= n {
+		// Eigendecompose AᴴA (n x n).
+		g := MulH(a, a)
+		eig, err := EigHermitian(g)
+		if err != nil {
+			return nil, fmt.Errorf("svd gram eig: %w", err)
+		}
+		s := make([]float64, n)
+		v := New(n, n)
+		// Eigenvalues ascend; reverse for descending singular values.
+		for k := 0; k < n; k++ {
+			lam := eig.Values[n-1-k]
+			if lam < 0 {
+				lam = 0
+			}
+			s[k] = math.Sqrt(lam)
+			v.SetCol(k, eig.Vectors.Col(n-1-k))
+		}
+		u := New(m, n)
+		maxS := 0.0
+		if n > 0 {
+			maxS = s[0]
+		}
+		for k := 0; k < n; k++ {
+			col := a.MulVec(v.Col(k))
+			if s[k] > 1e-12*math.Max(maxS, 1) {
+				inv := complex(1/s[k], 0)
+				for i := range col {
+					col[i] *= inv
+				}
+				u.SetCol(k, col)
+			} else {
+				// Null direction: fill with an orthonormal completion vector.
+				u.SetCol(k, orthoFill(u, k, m))
+			}
+		}
+		return &SVD{U: u, S: s, V: v}, nil
+	}
+	// m < n: decompose the Hermitian transpose and swap factors.
+	sv, err := SVDecompose(a.H())
+	if err != nil {
+		return nil, err
+	}
+	return &SVD{U: sv.V, S: sv.S, V: sv.U}, nil
+}
+
+// orthoFill produces a unit vector orthogonal to the first k columns of u by
+// Gram-Schmidt on canonical basis vectors.
+func orthoFill(u *Matrix, k, m int) []complex128 {
+	for e := 0; e < m; e++ {
+		cand := make([]complex128, m)
+		cand[e] = 1
+		for j := 0; j < k; j++ {
+			col := u.Col(j)
+			proj := Dot(col, cand)
+			AXPY(-proj, col, cand)
+		}
+		if nrm := Norm2(cand); nrm > 1e-6 {
+			inv := complex(1/nrm, 0)
+			for i := range cand {
+				cand[i] *= inv
+			}
+			return cand
+		}
+	}
+	// Unreachable for k < m, but keep a safe fallback.
+	out := make([]complex128, m)
+	out[0] = 1
+	return out
+}
+
+// Rank returns the numerical rank implied by the singular values at the
+// given relative tolerance.
+func (s *SVD) Rank(rtol float64) int {
+	if len(s.S) == 0 || s.S[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, v := range s.S {
+		if v > rtol*s.S[0] {
+			r++
+		}
+	}
+	return r
+}
+
+// TruncateLeft returns U_k * diag(S_k), the rank-k compression of A's column
+// space used by the l1-SVD multi-snapshot fusion (Malioutov et al.). k is
+// clamped to the available number of singular values.
+func (s *SVD) TruncateLeft(k int) *Matrix {
+	if k > len(s.S) {
+		k = len(s.S)
+	}
+	m := s.U.Rows()
+	out := New(m, k)
+	for j := 0; j < k; j++ {
+		col := s.U.Col(j)
+		for i := 0; i < m; i++ {
+			out.Set(i, j, col[i]*complex(s.S[j], 0))
+		}
+	}
+	return out
+}

@@ -1,0 +1,393 @@
+// Package core implements the paper's primary contribution: ROArray's
+// sparse-recovery AoA estimation (Eq. 7-11), joint AoA/ToA estimation over a
+// space-delay dictionary (Eq. 13-18), smallest-ToA direct path
+// identification, l1-SVD multi-packet fusion (Sec. III-D), spectrum-driven
+// phase autocalibration, and RSSI-weighted multi-AP localization (Eq. 19).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"roarray/internal/cmat"
+	"roarray/internal/sparse"
+	"roarray/internal/spectra"
+	"roarray/internal/wireless"
+)
+
+// ErrNoPeaks is returned when a spectrum contains no usable peaks.
+var ErrNoPeaks = errors.New("core: spectrum has no peaks")
+
+// Config parameterizes an Estimator.
+type Config struct {
+	Array wireless.Array
+	OFDM  wireless.OFDM
+	// ThetaGrid holds the AoA sampling grid in degrees; nil selects 2-degree
+	// spacing over [0,180] (Ntheta = 91, within the paper's Ntheta = 90
+	// working point).
+	ThetaGrid []float64
+	// TauGrid holds the ToA sampling grid in seconds; nil selects Ntau = 50
+	// points over [0, tau_max] as in the paper's Sec. III-C example.
+	TauGrid []float64
+	// KappaRatio scales the sparsity weight kappa relative to kappa_max =
+	// max_i |A_iᴴ y| (above which the solution is identically zero).
+	// Zero selects 0.25.
+	KappaRatio float64
+	// MaxPaths bounds the number of dominant paths assumed for fusion
+	// truncation; zero selects 5, the paper's sparsity working point.
+	MaxPaths int
+	// PeakThreshold is the relative power floor for direct-path candidate
+	// peaks; zero selects 0.3.
+	PeakThreshold float64
+	// SolverOptions are passed to the underlying sparse solvers (method,
+	// iteration caps, hooks, ...).
+	SolverOptions []sparse.Option
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ThetaGrid == nil {
+		out.ThetaGrid = spectra.UniformGrid(0, 180, 91)
+	}
+	if out.TauGrid == nil {
+		out.TauGrid = spectra.UniformGrid(0, out.OFDM.MaxToA(), 50)
+	}
+	if out.KappaRatio == 0 {
+		out.KappaRatio = 0.25
+	}
+	if out.MaxPaths == 0 {
+		out.MaxPaths = 5
+	}
+	if out.PeakThreshold == 0 {
+		out.PeakThreshold = 0.3
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Array.Validate(); err != nil {
+		return err
+	}
+	if err := c.OFDM.Validate(); err != nil {
+		return err
+	}
+	if c.KappaRatio < 0 || c.KappaRatio >= 1 {
+		return fmt.Errorf("core: kappa ratio %v outside [0,1)", c.KappaRatio)
+	}
+	if c.MaxPaths < 0 {
+		return fmt.Errorf("core: negative max paths %d", c.MaxPaths)
+	}
+	if c.PeakThreshold < 0 || c.PeakThreshold > 1 {
+		return fmt.Errorf("core: peak threshold %v outside [0,1]", c.PeakThreshold)
+	}
+	return nil
+}
+
+// Estimator runs ROArray's sparse-recovery estimation. Dictionaries and
+// their solver factorizations are built once and cached, so repeated
+// estimates (across packets, locations, and APs sharing a configuration)
+// amortize the setup cost.
+type Estimator struct {
+	cfg Config
+
+	aoaOnce   sync.Once
+	aoaSolver *sparse.Solver
+	aoaErr    error
+
+	jointOnce   sync.Once
+	jointSolver *sparse.Solver
+	jointErr    error
+}
+
+// NewEstimator validates cfg and returns an estimator. Grid and solver
+// defaults are applied here.
+func NewEstimator(cfg Config) (*Estimator, error) {
+	full := cfg.withDefaults()
+	if err := full.Validate(); err != nil {
+		return nil, err
+	}
+	if len(full.ThetaGrid) == 0 || len(full.TauGrid) == 0 {
+		return nil, fmt.Errorf("core: empty estimation grids")
+	}
+	return &Estimator{cfg: full}, nil
+}
+
+// Config returns the effective (default-filled) configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// BuildAoADictionary constructs the narrowband steering dictionary S~ of
+// paper Eq. 6: one column s(theta_i) per grid angle, size M x Ntheta.
+func BuildAoADictionary(arr wireless.Array, thetaGrid []float64) *cmat.Matrix {
+	d := cmat.New(arr.NumAntennas, len(thetaGrid))
+	for j, th := range thetaGrid {
+		d.SetCol(j, arr.SteeringVector(th))
+	}
+	return d
+}
+
+// BuildJointDictionary constructs the space-delay dictionary S~_thetatau of
+// paper Eq. 16: columns are s(theta_i, tau_t) ordered tau-major (all angles
+// for tau_1, then all angles for tau_2, ...), size (M*L) x (Ntheta*Ntau).
+func BuildJointDictionary(arr wireless.Array, ofdm wireless.OFDM, thetaGrid, tauGrid []float64) *cmat.Matrix {
+	d := cmat.New(arr.NumAntennas*ofdm.NumSubcarriers, len(thetaGrid)*len(tauGrid))
+	col := 0
+	for _, tau := range tauGrid {
+		for _, th := range thetaGrid {
+			d.SetCol(col, wireless.JointSteeringVector(arr, ofdm, th, tau))
+			col++
+		}
+	}
+	return d
+}
+
+func (e *Estimator) getAoASolver() (*sparse.Solver, error) {
+	e.aoaOnce.Do(func() {
+		dict := BuildAoADictionary(e.cfg.Array, e.cfg.ThetaGrid)
+		e.aoaSolver, e.aoaErr = sparse.NewSolver(dict, e.cfg.SolverOptions...)
+	})
+	return e.aoaSolver, e.aoaErr
+}
+
+func (e *Estimator) getJointSolver() (*sparse.Solver, error) {
+	e.jointOnce.Do(func() {
+		dict := BuildJointDictionary(e.cfg.Array, e.cfg.OFDM, e.cfg.ThetaGrid, e.cfg.TauGrid)
+		e.jointSolver, e.jointErr = sparse.NewSolver(dict, e.cfg.SolverOptions...)
+	})
+	return e.jointSolver, e.jointErr
+}
+
+// kappaFor selects the sparsity weight for a measurement block:
+// KappaRatio * max row norm of AᴴY, the standard scale-free choice.
+func kappaFor(dict *cmat.Matrix, y *cmat.Matrix, ratio float64) float64 {
+	g := cmat.MulH(dict, y)
+	mx := 0.0
+	for i := 0; i < g.Rows(); i++ {
+		var n2 float64
+		for j := 0; j < g.Cols(); j++ {
+			v := g.At(i, j)
+			n2 += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if n2 > mx {
+			mx = n2
+		}
+	}
+	return ratio * math.Sqrt(mx)
+}
+
+// EstimateAoA recovers the sparse AoA spectrum of paper Eq. 11 from one CSI
+// measurement, treating the L subcarriers as snapshots that share a common
+// angular support (group sparsity across subcarriers).
+func (e *Estimator) EstimateAoA(csi *wireless.CSI) (*spectra.Spectrum1D, error) {
+	if csi.NumAntennas != e.cfg.Array.NumAntennas {
+		return nil, fmt.Errorf("core: CSI has %d antennas, config has %d", csi.NumAntennas, e.cfg.Array.NumAntennas)
+	}
+	solver, err := e.getAoASolver()
+	if err != nil {
+		return nil, fmt.Errorf("core: build AoA solver: %w", err)
+	}
+	y := cmat.New(csi.NumAntennas, csi.NumSubcarriers)
+	for m := 0; m < csi.NumAntennas; m++ {
+		for l := 0; l < csi.NumSubcarriers; l++ {
+			y.Set(m, l, csi.Data[m][l])
+		}
+	}
+	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
+	res, err := solver.SolveMulti(y, kappa)
+	if err != nil {
+		return nil, fmt.Errorf("core: AoA solve: %w", err)
+	}
+	spec, err := spectra.NewSpectrum1D(append([]float64(nil), e.cfg.ThetaGrid...), res.RowMags)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Normalize(), nil
+}
+
+// EstimateJoint recovers the joint AoA/ToA spectrum of paper Eq. 18 from a
+// single packet by solving over the stacked space-delay dictionary.
+func (e *Estimator) EstimateJoint(csi *wireless.CSI) (*spectra.Spectrum2D, error) {
+	return e.estimateJointBlock([]*wireless.CSI{csi}, 1)
+}
+
+// EstimateJointFused coherently fuses a burst of packets (Sec. III-D): the
+// stacked measurements form Y = [y_1 ... y_P], the SVD keeps the strongest
+// min(MaxPaths, P) left singular directions, and the l2,1 group-sparse
+// program is solved over the reduced block — the l1-SVD method of
+// Malioutov et al. that both shrinks the problem and averages noise
+// coherently.
+func (e *Estimator) EstimateJointFused(packets []*wireless.CSI) (*spectra.Spectrum2D, error) {
+	if len(packets) == 0 {
+		return nil, fmt.Errorf("core: fusion needs at least one packet")
+	}
+	// Fusion is only coherent if the packets share a delay reference; the
+	// per-packet detection delay is estimated by matched filtering and
+	// compensated first (the paper's delay-estimation step), with
+	// consensus-based outlier rejection against interfered packets.
+	aligned := AlignAndFilter(packets, e.cfg.OFDM)
+	return e.estimateJointBlock(aligned, e.cfg.MaxPaths)
+}
+
+func (e *Estimator) estimateJointBlock(packets []*wireless.CSI, keep int) (*spectra.Spectrum2D, error) {
+	solver, err := e.getJointSolver()
+	if err != nil {
+		return nil, fmt.Errorf("core: build joint solver: %w", err)
+	}
+	ml := e.cfg.Array.NumAntennas * e.cfg.OFDM.NumSubcarriers
+	y := cmat.New(ml, len(packets))
+	for p, pkt := range packets {
+		v := pkt.StackedVector()
+		if len(v) != ml {
+			return nil, fmt.Errorf("core: packet %d has %d samples, want %d", p, len(v), ml)
+		}
+		y.SetCol(p, v)
+	}
+	if len(packets) > 1 {
+		sv, err := cmat.SVDecompose(y)
+		if err != nil {
+			return nil, fmt.Errorf("core: fusion SVD: %w", err)
+		}
+		keep = fusionRank(sv.S, keep, len(packets))
+		y = sv.TruncateLeft(keep)
+	}
+	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
+	res, err := solver.SolveMulti(y, kappa)
+	if err != nil {
+		return nil, fmt.Errorf("core: joint solve: %w", err)
+	}
+	return e.reshapeJoint(res.RowMags)
+}
+
+// fusionRank decides how many left singular directions the l1-SVD fusion
+// keeps. Directions dominated by noise dilute the group-sparse row norms
+// and can make fusion worse than a single packet, so the rank is the number
+// of singular values clearly above the noise tail (estimated from the
+// smallest ones), clamped to [1, maxPaths] and to at most half the packets
+// (below that the SVD has no tail to estimate noise from).
+func fusionRank(sigma []float64, maxPaths, packets int) int {
+	if len(sigma) == 0 {
+		return 1
+	}
+	cap := maxPaths
+	if half := (packets + 1) / 2; half < cap {
+		cap = half
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	if cap > len(sigma) {
+		cap = len(sigma)
+	}
+	// Noise floor: mean of the smallest third of the singular values.
+	tail := len(sigma) / 3
+	if tail < 1 {
+		tail = 1
+	}
+	var floor float64
+	for _, s := range sigma[len(sigma)-tail:] {
+		floor += s
+	}
+	floor /= float64(tail)
+
+	keep := 0
+	for _, s := range sigma[:cap] {
+		if s > 1.5*floor {
+			keep++
+		} else {
+			break
+		}
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	return keep
+}
+
+// reshapeJoint maps the flat coefficient magnitudes back onto the
+// (theta, tau) grid using the tau-major column ordering of Eq. 16.
+func (e *Estimator) reshapeJoint(mags []float64) (*spectra.Spectrum2D, error) {
+	nth, ntu := len(e.cfg.ThetaGrid), len(e.cfg.TauGrid)
+	if len(mags) != nth*ntu {
+		return nil, fmt.Errorf("core: %d coefficients for %dx%d grid", len(mags), nth, ntu)
+	}
+	power := make([][]float64, nth)
+	for i := range power {
+		power[i] = make([]float64, ntu)
+	}
+	for t := 0; t < ntu; t++ {
+		for i := 0; i < nth; i++ {
+			power[i][t] = mags[t*nth+i]
+		}
+	}
+	spec, err := spectra.NewSpectrum2D(
+		append([]float64(nil), e.cfg.ThetaGrid...),
+		append([]float64(nil), e.cfg.TauGrid...),
+		power)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Normalize(), nil
+}
+
+// DirectPath applies ROArray's rule (Sec. III-B): among spectrum peaks at or
+// above the configured relative power threshold, the direct path is the one
+// with the smallest ToA. The returned ToA is relative (it contains the
+// unknown packet detection delay) — only its ordering is meaningful, which
+// is all the rule needs.
+func (e *Estimator) DirectPath(spec *spectra.Spectrum2D) (spectra.Peak, error) {
+	// Aggregate adjacent-atom energy first: an off-grid path's l1 energy
+	// splits across neighboring grid atoms, which would otherwise push a
+	// real (direct) path below the power threshold while an exactly
+	// on-grid reflection spikes.
+	peaks := spec.Smooth3x3().Peaks(e.cfg.PeakThreshold)
+	// A uniform linear array has no angular resolution at endfire
+	// (d*cos(theta) is stationary at 0/180 degrees), so peaks hugging the
+	// grid ends are artifacts; letting them into the candidate set would
+	// let a noise spike hijack the smallest-ToA rule.
+	filtered := peaks[:0]
+	for _, p := range peaks {
+		if p.ThetaDeg > 8 && p.ThetaDeg < 172 {
+			filtered = append(filtered, p)
+		}
+	}
+	peaks = filtered
+	if len(peaks) == 0 {
+		return spectra.Peak{}, ErrNoPeaks
+	}
+	if len(peaks) > e.cfg.MaxPaths {
+		peaks = peaks[:e.cfg.MaxPaths]
+	}
+	// Tau values within half a grid step are indistinguishable; among such
+	// ties the stronger peak is the more credible direct-path candidate.
+	tol := tauStep(spec.Tau) / 2
+	best := peaks[0]
+	for _, p := range peaks[1:] {
+		switch {
+		case p.Tau < best.Tau-tol:
+			best = p
+		case p.Tau < best.Tau+tol && p.Power > best.Power:
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// tauStep returns the (assumed uniform) spacing of the ToA grid.
+func tauStep(tau []float64) float64 {
+	if len(tau) < 2 {
+		return 0
+	}
+	return (tau[len(tau)-1] - tau[0]) / float64(len(tau)-1)
+}
+
+// EstimateDirectAoA is the end-to-end single-link pipeline: joint (fused)
+// spectrum, then smallest-ToA direct path. It accepts one or more packets.
+func (e *Estimator) EstimateDirectAoA(packets []*wireless.CSI) (spectra.Peak, error) {
+	spec, err := e.EstimateJointFused(packets)
+	if err != nil {
+		return spectra.Peak{}, err
+	}
+	return e.DirectPath(spec)
+}

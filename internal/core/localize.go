@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"roarray/internal/wireless"
+)
+
+// Point is a 2-D position in meters.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Rect is an axis-aligned region, used as the localization search area.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// APObservation is the per-AP input to multi-AP localization: the AP's
+// geometry plus its estimated direct-path AoA and RSSI.
+type APObservation struct {
+	// Pos is the AP (array center) position.
+	Pos Point
+	// AxisDeg is the orientation of the linear array axis in the world
+	// frame (degrees, counterclockwise from +x). AoA is measured from this
+	// axis, so theta in [0,180] sweeps the half-plane the array can resolve.
+	AxisDeg float64
+	// AoADeg is the estimated direct-path AoA in degrees.
+	AoADeg float64
+	// RSSIdBm is the received signal strength for this link.
+	RSSIdBm float64
+}
+
+// ExpectedAoA returns the AoA (degrees, in [0,180]) at which an array at pos
+// with the given axis orientation would see a source at target. This is
+// phi_i(x) in the paper's Eq. 19.
+func ExpectedAoA(pos Point, axisDeg float64, target Point) float64 {
+	ax := axisDeg * math.Pi / 180
+	ux, uy := math.Cos(ax), math.Sin(ax)
+	dx, dy := target.X-pos.X, target.Y-pos.Y
+	d := math.Hypot(dx, dy)
+	if d == 0 {
+		return 90
+	}
+	dot := (ux*dx + uy*dy) / d
+	dot = math.Max(-1, math.Min(1, dot))
+	return math.Acos(dot) * 180 / math.Pi
+}
+
+// Localize finds the position minimizing the RSSI-weighted squared AoA
+// deviation of paper Eq. 19:
+//
+//	min_x sum_i R_i (phi_i(x) - phihat_i)^2
+//
+// over a uniform grid with the given step (meters) inside bounds. The paper
+// uses a 10 cm grid; step <= 0 selects 0.1 m. RSSI weights are converted to
+// linear milliwatts.
+func Localize(obs []APObservation, bounds Rect, step float64) (Point, error) {
+	if len(obs) < 2 {
+		return Point{}, fmt.Errorf("core: localization needs >= 2 AP observations, got %d", len(obs))
+	}
+	if bounds.MaxX <= bounds.MinX || bounds.MaxY <= bounds.MinY {
+		return Point{}, fmt.Errorf("core: empty localization bounds %+v", bounds)
+	}
+	if step <= 0 {
+		step = 0.1
+	}
+	weights := make([]float64, len(obs))
+	for i, o := range obs {
+		weights[i] = wireless.DBmToMilliwatt(o.RSSIdBm)
+	}
+
+	best := Point{X: bounds.MinX, Y: bounds.MinY}
+	bestCost := math.Inf(1)
+	for x := bounds.MinX; x <= bounds.MaxX+1e-9; x += step {
+		for y := bounds.MinY; y <= bounds.MaxY+1e-9; y += step {
+			p := Point{X: x, Y: y}
+			var cost float64
+			for i, o := range obs {
+				d := ExpectedAoA(o.Pos, o.AxisDeg, p) - o.AoADeg
+				cost += weights[i] * d * d
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = p
+			}
+		}
+	}
+	return best, nil
+}

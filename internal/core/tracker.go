@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tracker smooths a sequence of per-epoch position fixes into a trajectory
+// for a slowly moving client — the mobile use case the paper's multi-packet
+// fusion targets ("slowly moving and static objects", Sec. III-D). It is an
+// alpha-beta filter on (position, velocity) with an innovation gate that
+// rejects fixes inconsistent with plausible indoor motion.
+type Tracker struct {
+	// Alpha and Beta are the filter gains in (0, 1]; larger values trust
+	// new fixes more. Zero values select 0.5 and 0.1.
+	Alpha, Beta float64
+	// MaxSpeed bounds plausible client motion (m/s); fixes implying faster
+	// motion are treated as outliers and only partially absorbed. Zero
+	// selects 2.5 m/s (brisk indoor walking).
+	MaxSpeed float64
+
+	initialized bool
+	pos         Point
+	vel         Point // meters per epoch-second
+	lastT       float64
+}
+
+// NewTracker returns a tracker with the given gains (zeros select
+// defaults).
+func NewTracker(alpha, beta, maxSpeed float64) (*Tracker, error) {
+	if alpha < 0 || alpha > 1 || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("core: tracker gains alpha=%v beta=%v outside [0,1]", alpha, beta)
+	}
+	if maxSpeed < 0 {
+		return nil, fmt.Errorf("core: negative max speed %v", maxSpeed)
+	}
+	t := &Tracker{Alpha: alpha, Beta: beta, MaxSpeed: maxSpeed}
+	if t.Alpha == 0 {
+		t.Alpha = 0.5
+	}
+	if t.Beta == 0 {
+		t.Beta = 0.1
+	}
+	if t.MaxSpeed == 0 {
+		t.MaxSpeed = 2.5
+	}
+	return t, nil
+}
+
+// Update absorbs a position fix taken at time t (seconds, strictly
+// increasing) and returns the smoothed position estimate.
+func (k *Tracker) Update(t float64, fix Point) (Point, error) {
+	if !k.initialized {
+		k.initialized = true
+		k.pos, k.lastT = fix, t
+		return fix, nil
+	}
+	dt := t - k.lastT
+	if dt <= 0 {
+		return k.pos, fmt.Errorf("core: tracker time must increase (got dt=%v)", dt)
+	}
+	k.lastT = t
+
+	// Predict.
+	pred := Point{X: k.pos.X + k.vel.X*dt, Y: k.pos.Y + k.vel.Y*dt}
+
+	// Gate: damp innovations implying impossible speed.
+	innov := Point{X: fix.X - pred.X, Y: fix.Y - pred.Y}
+	dist := math.Hypot(innov.X, innov.Y)
+	if limit := k.MaxSpeed * dt * 2; dist > limit && dist > 0 {
+		scale := limit / dist
+		innov.X *= scale
+		innov.Y *= scale
+	}
+
+	// Correct.
+	k.pos = Point{X: pred.X + k.Alpha*innov.X, Y: pred.Y + k.Alpha*innov.Y}
+	k.vel = Point{X: k.vel.X + k.Beta*innov.X/dt, Y: k.vel.Y + k.Beta*innov.Y/dt}
+
+	// Clamp velocity to the speed bound.
+	if sp := math.Hypot(k.vel.X, k.vel.Y); sp > k.MaxSpeed {
+		s := k.MaxSpeed / sp
+		k.vel.X *= s
+		k.vel.Y *= s
+	}
+	return k.pos, nil
+}
+
+// Position returns the current smoothed estimate (zero before the first
+// update).
+func (k *Tracker) Position() Point { return k.pos }
+
+// Velocity returns the current velocity estimate in m/s.
+func (k *Tracker) Velocity() Point { return k.vel }

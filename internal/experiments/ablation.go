@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"roarray/internal/core"
+	"roarray/internal/sparse"
+	"roarray/internal/spectra"
+	"roarray/internal/stats"
+	"roarray/internal/wireless"
+)
+
+// RunAblationOffGrid quantifies basis-mismatch sensitivity (paper ref [19],
+// Chi et al.): how much accuracy is lost when the true AoA falls between
+// grid points, across grid resolutions. Worst-case mismatch is half the
+// grid spacing, so the error floor should track the resolution — the
+// experiment verifies the gridding choice in Sec. III-A.
+func RunAblationOffGrid(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	header(w, "Ablation: off-grid (basis mismatch) sensitivity of the sparse AoA estimate")
+	rng := rand.New(rand.NewSource(opt.Seed))
+	arr := wireless.Intel5300Array()
+	ofdm := wireless.Intel5300OFDM()
+
+	fmt.Fprintf(w, "%-18s %-14s %-16s %-16s\n", "grid spacing", "points", "on-grid err", "off-grid err")
+	for _, n := range []int{31, 61, 91, 181} {
+		grid := spectra.UniformGrid(0, 180, n)
+		spacing := 180 / float64(n-1)
+		est, err := core.NewEstimator(core.Config{
+			Array: arr, OFDM: ofdm,
+			ThetaGrid:     grid,
+			SolverOptions: []sparse.Option{sparse.WithMaxIters(opt.SolverIters)},
+		})
+		if err != nil {
+			return err
+		}
+		measure := func(offset float64) (float64, error) {
+			var errs []float64
+			const trials = 10
+			for i := 0; i < trials; i++ {
+				// Pick a grid angle away from endfire and shift by the
+				// requested fraction of the spacing.
+				base := grid[5+rng.Intn(n-10)]
+				trueAoA := base + offset*spacing
+				csi, err := wireless.Generate(&wireless.ChannelConfig{
+					Array: arr, OFDM: ofdm,
+					Paths: []wireless.Path{{AoADeg: trueAoA, ToA: 50e-9, Gain: 1}},
+					SNRdB: 15,
+				}, rng)
+				if err != nil {
+					return 0, err
+				}
+				spec, err := est.EstimateAoA(csi)
+				if err != nil {
+					return 0, err
+				}
+				errs = append(errs, spectra.ClosestPeakError(spec.Peaks(0.5), trueAoA))
+			}
+			sum, err := stats.Summarize("", errs)
+			if err != nil {
+				return 0, err
+			}
+			return sum.Median, nil
+		}
+		onGrid, err := measure(0)
+		if err != nil {
+			return err
+		}
+		offGrid, err := measure(0.5) // worst-case mismatch
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s %-14d %-16s %-16s\n",
+			fmt.Sprintf("%.1f deg", spacing), n,
+			fmt.Sprintf("%.2f deg", onGrid),
+			fmt.Sprintf("%.2f deg", offGrid))
+	}
+	fmt.Fprintf(w, "\nExpected shape: off-grid error is bounded by ~half the grid spacing and\n")
+	fmt.Fprintf(w, "shrinks as the grid refines — the basis-mismatch cost of a discrete basis\n")
+	fmt.Fprintf(w, "(one of ROArray's stated tradeoffs against continuous-basis WiDeo).\n")
+	return nil
+}
+
+// RunAblationSolvers compares the sparse-recovery backends (ADMM, FISTA,
+// OMP) on identical joint-estimation instances: direct-path accuracy and
+// per-solve latency. This backs the design choice of ADMM with the
+// Woodbury-factorized x-update as the default.
+func RunAblationSolvers(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	header(w, "Ablation: sparse solver backends on identical joint AoA/ToA instances")
+	arr := wireless.Intel5300Array()
+	ofdm := wireless.Intel5300OFDM()
+	thetaGrid := spectra.UniformGrid(0, 180, opt.ThetaPoints)
+	tauGrid := spectra.UniformGrid(0, ofdm.MaxToA(), opt.TauPoints)
+	const trueAoA = 130.0
+
+	// Shared instances.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var packets []*wireless.CSI
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		csi, err := wireless.Generate(&wireless.ChannelConfig{
+			Array: arr, OFDM: ofdm,
+			Paths: []wireless.Path{
+				{AoADeg: trueAoA, ToA: 60e-9, Gain: 1},
+				{AoADeg: 50, ToA: 260e-9, Gain: 0.6},
+			},
+			SNRdB: 5,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		packets = append(packets, csi)
+	}
+
+	fmt.Fprintf(w, "%-10s %-14s %-14s\n", "solver", "median err", "per solve")
+	for _, method := range []sparse.Method{sparse.MethodADMM, sparse.MethodFISTA} {
+		est, err := core.NewEstimator(core.Config{
+			Array: arr, OFDM: ofdm,
+			ThetaGrid: thetaGrid, TauGrid: tauGrid,
+			SolverOptions: []sparse.Option{
+				sparse.WithMethod(method),
+				sparse.WithMaxIters(opt.SolverIters),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := est.EstimateJoint(packets[0]); err != nil { // warm caches
+			return err
+		}
+		var errs []float64
+		t0 := time.Now()
+		for _, pkt := range packets {
+			spec, err := est.EstimateJoint(pkt)
+			if err != nil {
+				return err
+			}
+			dp, err := est.DirectPath(spec)
+			if err != nil {
+				errs = append(errs, 90)
+				continue
+			}
+			errs = append(errs, math.Abs(dp.ThetaDeg-trueAoA))
+		}
+		perSolve := time.Since(t0) / trials
+		sum, err := stats.Summarize(method.String(), errs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %-14s %-14v\n", method.String(),
+			fmt.Sprintf("%.1f deg", sum.Median), perSolve.Round(time.Millisecond))
+	}
+
+	// OMP greedy baseline on the same dictionary.
+	dict := core.BuildJointDictionary(arr, ofdm, thetaGrid, tauGrid)
+	var errs []float64
+	t0 := time.Now()
+	for _, pkt := range packets {
+		res, err := sparse.OMP(dict, pkt.StackedVector(), 5, 1e-3)
+		if err != nil {
+			return err
+		}
+		best := 90.0
+		for _, atom := range res.Support {
+			theta := thetaGrid[atom%len(thetaGrid)]
+			if d := math.Abs(theta - trueAoA); d < best {
+				best = d
+			}
+		}
+		errs = append(errs, best)
+	}
+	perSolve := time.Since(t0) / trials
+	sum, err := stats.Summarize("omp", errs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-14s %-14v  (closest support atom; greedy, no spectrum)\n",
+		"omp", fmt.Sprintf("%.1f deg", sum.Median), perSolve.Round(time.Millisecond))
+	return nil
+}

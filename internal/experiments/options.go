@@ -1,0 +1,130 @@
+// Package experiments regenerates every figure in the paper's evaluation
+// (Sec. II Fig. 2, Sec. III Figs. 3-4, Sec. IV Figs. 6-8) plus the
+// Sec. III-C complexity discussion, printing paper-reported values next to
+// the measured ones. Each figure has a Run function and a registry entry
+// used by cmd/roabench and by the top-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"roarray/internal/core"
+	"roarray/internal/sparse"
+	"roarray/internal/spectra"
+	"roarray/internal/testbed"
+	"roarray/internal/wireless"
+)
+
+// Options control experiment scale. The zero value selects sizes that keep
+// a full figure under a couple of minutes on a laptop; raise Locations and
+// grid sizes (and be patient) to approach the paper's 300-location runs.
+type Options struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Locations is the number of client placements for Figs. 6-8
+	// (paper: 300; default 10).
+	Locations int
+	// Packets per estimate (paper: 15).
+	Packets int
+	// APs used for localization (paper: 6).
+	APs int
+	// ThetaPoints / TauPoints set the ROArray grid resolution
+	// (default 46 x 20; paper works at 90 x 50).
+	ThetaPoints int
+	TauPoints   int
+	// SolverIters caps the ADMM iterations per solve (default 150 — the
+	// support stabilizes long before full convergence).
+	SolverIters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Locations == 0 {
+		o.Locations = 10
+	}
+	if o.Packets == 0 {
+		o.Packets = 15
+	}
+	if o.APs == 0 {
+		o.APs = 6
+	}
+	if o.ThetaPoints == 0 {
+		o.ThetaPoints = 46
+	}
+	if o.TauPoints == 0 {
+		o.TauPoints = 20
+	}
+	if o.SolverIters == 0 {
+		o.SolverIters = 150
+	}
+	return o
+}
+
+// estimatorConfig builds the ROArray estimator configuration implied by the
+// options.
+func (o Options) estimatorConfig() core.Config {
+	ofdm := wireless.Intel5300OFDM()
+	return core.Config{
+		Array:     wireless.Intel5300Array(),
+		OFDM:      ofdm,
+		ThetaGrid: spectra.UniformGrid(0, 180, o.ThetaPoints),
+		TauGrid:   spectra.UniformGrid(0, ofdm.MaxToA(), o.TauPoints),
+		SolverOptions: []sparse.Option{
+			sparse.WithMaxIters(o.SolverIters),
+		},
+	}
+}
+
+// Runner executes one experiment, writing a human-readable report.
+type Runner func(w io.Writer, opt Options) error
+
+// Get resolves an experiment by figure id ("2", "3", "4", "6", "7", "8a",
+// "8b", "8c", "cx") or ablation id ("og" off-grid sensitivity, "ab" solver
+// comparison, "fs" fusion-size sweep). The second return lists valid ids
+// when the lookup fails.
+func Get(id string) (Runner, []string) {
+	reg := map[string]Runner{
+		"2":  RunFig2,
+		"3":  RunFig3,
+		"4":  RunFig4,
+		"6":  RunFig6,
+		"7":  RunFig7,
+		"8a": RunFig8a,
+		"8b": RunFig8b,
+		"8c": RunFig8c,
+		"cx": RunComplexity,
+		"og": RunAblationOffGrid,
+		"ab": RunAblationSolvers,
+		"fs": RunAblationFusion,
+	}
+	if r, ok := reg[id]; ok {
+		return r, nil
+	}
+	ids := make([]string, 0, len(reg))
+	for k := range reg {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	return nil, ids
+}
+
+// bandLabel renders the paper's band naming.
+func bandLabel(b testbed.SNRBand) string {
+	switch b {
+	case testbed.BandHigh:
+		return "high SNRs, >=15 dB"
+	case testbed.BandMedium:
+		return "medium SNRs, (2,15) dB"
+	default:
+		return "low SNRs, <=2 dB"
+	}
+}
+
+// header prints a figure banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

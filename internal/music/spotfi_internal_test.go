@@ -1,0 +1,153 @@
+package music
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roarray/internal/spectra"
+	"roarray/internal/wireless"
+)
+
+func TestFilterEndfire(t *testing.T) {
+	peaks := []spectra.Peak{
+		{ThetaDeg: 0, Power: 1},
+		{ThetaDeg: 3.9, Power: 0.9},
+		{ThetaDeg: 90, Power: 0.8},
+		{ThetaDeg: 176.5, Power: 0.7},
+		{ThetaDeg: 180, Power: 0.6},
+	}
+	got := filterEndfire(peaks)
+	if len(got) != 1 || got[0].ThetaDeg != 90 {
+		t.Fatalf("filterEndfire = %+v, want only the 90-degree peak", got)
+	}
+	if out := filterEndfire(nil); len(out) != 0 {
+		t.Fatal("empty input should stay empty")
+	}
+}
+
+// Least-squares amplitude estimation must rank the strong path above the
+// weak one regardless of which peak spikes higher in the pseudospectrum.
+func TestEstimatePathAmplitudesRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(310))
+	cfg := &SpotFiConfig{Array: wireless.Intel5300Array(), OFDM: wireless.Intel5300OFDM()}
+	strong := wireless.Path{AoADeg: 120, ToA: 60e-9, Gain: 1}
+	weak := wireless.Path{AoADeg: 50, ToA: 300e-9, Gain: 0.3}
+	csi, err := wireless.Generate(&wireless.ChannelConfig{
+		Array: cfg.Array, OFDM: cfg.OFDM,
+		Paths: []wireless.Path{strong, weak},
+		SNRdB: 25,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := []spectra.Peak{
+		{ThetaDeg: 50, Tau: 300e-9, Power: 1.0}, // pseudospectrum may spike here
+		{ThetaDeg: 120, Tau: 60e-9, Power: 0.4}, // ...even if this path is stronger
+	}
+	ests := estimatePathAmplitudes(cfg, csi, peaks, 0)
+	if len(ests) != 2 {
+		t.Fatalf("got %d estimates, want 2", len(ests))
+	}
+	var pStrong, pWeak float64
+	for _, e := range ests {
+		if e.ThetaDeg == 120 {
+			pStrong = e.Power
+		} else {
+			pWeak = e.Power
+		}
+	}
+	if pStrong <= pWeak {
+		t.Fatalf("LS power ranking wrong: strong=%.2f weak=%.2f", pStrong, pWeak)
+	}
+	if math.Abs(pStrong-1) > 1e-9 {
+		t.Fatalf("strongest path power %.2f, want 1 (normalized)", pStrong)
+	}
+	// Approximate amplitude ratio recovered.
+	if pWeak < 0.15 || pWeak > 0.5 {
+		t.Fatalf("weak path relative power %.2f, want ~0.3", pWeak)
+	}
+}
+
+func TestEstimatePathAmplitudesPrunesIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	cfg := &SpotFiConfig{Array: wireless.Intel5300Array(), OFDM: wireless.Intel5300OFDM()}
+	csi, err := wireless.Generate(&wireless.ChannelConfig{
+		Array: cfg.Array, OFDM: cfg.OFDM,
+		Paths: []wireless.Path{{AoADeg: 120, ToA: 60e-9, Gain: 1}},
+		SNRdB: math.Inf(1),
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := []spectra.Peak{
+		{ThetaDeg: 120, Tau: 60e-9, Power: 1.0},
+		{ThetaDeg: 20, Tau: 700e-9, Power: 0.9}, // spurious; LS weight ~0
+	}
+	ests := estimatePathAmplitudes(cfg, csi, peaks, 3)
+	if len(ests) != 1 || ests[0].ThetaDeg != 120 || ests[0].Packet != 3 {
+		t.Fatalf("pruning failed: %+v", ests)
+	}
+	if got := estimatePathAmplitudes(cfg, csi, nil, 0); got != nil {
+		t.Fatal("no peaks should yield nil")
+	}
+}
+
+func TestScoreClustersPreferences(t *testing.T) {
+	tauScale := 800e-9
+	clusters := []Cluster{
+		{ // populous, early, tight, strong: the direct path profile
+			Members:   make([]PathEstimate, 10),
+			MeanTau:   50e-9,
+			MeanPower: 0.9,
+		},
+		{ // late, loose reflection
+			Members:   make([]PathEstimate, 10),
+			MeanTau:   500e-9,
+			StdTheta:  8,
+			StdTau:    60e-9,
+			MeanPower: 0.9,
+		},
+		{ // sparse spurious cluster
+			Members:   make([]PathEstimate, 1),
+			MeanTau:   50e-9,
+			MeanPower: 1.0,
+		},
+	}
+	scoreClusters(clusters, tauScale, 10)
+	if !(clusters[0].Score > clusters[1].Score) {
+		t.Fatalf("early tight cluster must beat late loose one: %v vs %v", clusters[0].Score, clusters[1].Score)
+	}
+	if !(clusters[0].Score > clusters[2].Score) {
+		t.Fatalf("populous cluster must beat singleton: %v vs %v", clusters[0].Score, clusters[2].Score)
+	}
+}
+
+func TestJointSpectrumValidation(t *testing.T) {
+	bad := &SpotFiConfig{Array: wireless.Array{}, OFDM: wireless.Intel5300OFDM()}
+	if _, err := JointSpectrum(bad, wireless.NewCSI(3, 30)); err == nil {
+		t.Fatal("invalid array should error")
+	}
+	bad2 := &SpotFiConfig{Array: wireless.Intel5300Array(), OFDM: wireless.OFDM{}}
+	if _, err := JointSpectrum(bad2, wireless.NewCSI(3, 30)); err == nil {
+		t.Fatal("invalid OFDM should error")
+	}
+}
+
+func TestSpotFiDegradesGracefullyAtVeryLowSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(312))
+	cfg := &SpotFiConfig{Array: wireless.Intel5300Array(), OFDM: wireless.Intel5300OFDM()}
+	cc := &wireless.ChannelConfig{
+		Array: cfg.Array, OFDM: cfg.OFDM,
+		Paths: []wireless.Path{{AoADeg: 100, ToA: 40e-9, Gain: 1}},
+		SNRdB: -10,
+	}
+	pkts, err := wireless.GenerateBurst(cc, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline must return a result (possibly inaccurate), not an error.
+	if _, err := Estimate(cfg, pkts); err != nil {
+		t.Fatalf("SpotFi errored at -10 dB: %v", err)
+	}
+}

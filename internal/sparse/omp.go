@@ -1,0 +1,95 @@
+package sparse
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"roarray/internal/cmat"
+)
+
+// OMPResult reports the outcome of orthogonal matching pursuit.
+type OMPResult struct {
+	// Support holds the selected atom indices, in selection order.
+	Support []int
+	// Coef holds the least-squares coefficients on the support, aligned
+	// with Support.
+	Coef []complex128
+	// ResidualNorm is ||y - A_S x_S||_2 at termination.
+	ResidualNorm float64
+}
+
+// OMP runs orthogonal matching pursuit against dictionary a: it greedily
+// selects the atom most correlated with the residual and re-fits by least
+// squares, stopping after maxAtoms selections or when the residual drops
+// below tol * ||y||. It serves as the greedy baseline for ablation studies
+// against the convex solvers.
+func OMP(a *cmat.Matrix, y []complex128, maxAtoms int, tol float64) (*OMPResult, error) {
+	m, n := a.Rows(), a.Cols()
+	if len(y) != m {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(y), m)
+	}
+	if maxAtoms <= 0 || maxAtoms > m {
+		return nil, fmt.Errorf("sparse: OMP atom budget %d out of range (1..%d)", maxAtoms, m)
+	}
+	yNorm := cmat.Norm2(y)
+	if yNorm == 0 {
+		return &OMPResult{}, nil
+	}
+
+	residual := cmat.CloneVec(y)
+	selected := make([]int, 0, maxAtoms)
+	inSupport := make([]bool, n)
+	var coef []complex128
+
+	for len(selected) < maxAtoms {
+		// Correlate the residual with every unselected atom.
+		corr := a.MulVecH(residual)
+		best, bestVal := -1, 0.0
+		for j := 0; j < n; j++ {
+			if inSupport[j] {
+				continue
+			}
+			if v := cmplx.Abs(corr[j]); v > bestVal {
+				best, bestVal = j, v
+			}
+		}
+		if best < 0 || bestVal < 1e-14*yNorm {
+			break
+		}
+		selected = append(selected, best)
+		inSupport[best] = true
+
+		// Least-squares refit on the support.
+		sub := cmat.New(m, len(selected))
+		for c, j := range selected {
+			sub.SetCol(c, a.Col(j))
+		}
+		x, err := cmat.SolveLeastSquares(sub, y)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: OMP refit: %w", err)
+		}
+		coef = x
+		residual = cmat.SubVec(y, sub.MulVec(x))
+		if cmat.Norm2(residual) <= tol*yNorm {
+			break
+		}
+	}
+
+	return &OMPResult{
+		Support:      selected,
+		Coef:         coef,
+		ResidualNorm: cmat.Norm2(residual),
+	}, nil
+}
+
+// Spectrum expands an OMP result into a dense per-atom magnitude vector of
+// length n, comparable with Result.RowMags from the convex solvers.
+func (r *OMPResult) Spectrum(n int) []float64 {
+	out := make([]float64, n)
+	for i, j := range r.Support {
+		if j >= 0 && j < n && i < len(r.Coef) {
+			out[j] = cmplx.Abs(r.Coef[i])
+		}
+	}
+	return out
+}

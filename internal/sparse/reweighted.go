@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"roarray/internal/cmat"
+)
+
+// SolveWeighted minimizes 1/2||Ax-y||^2 + kappa * sum_i w_i |x_i| — the
+// weighted LASSO. Weights must be positive and have length equal to the
+// dictionary's column count; nil selects uniform weights (plain LASSO).
+// Only the ADMM method supports weights (the cached factorization is weight
+// independent, so re-solving with new weights is cheap).
+func (s *Solver) SolveWeighted(y []complex128, kappa float64, weights []float64) (*Result, error) {
+	if s.opts.method != MethodADMM {
+		return nil, fmt.Errorf("sparse: weighted solve requires ADMM, got %v", s.opts.method)
+	}
+	if len(y) != s.a.Rows() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(y), s.a.Rows())
+	}
+	if kappa < 0 {
+		return nil, fmt.Errorf("sparse: kappa must be nonnegative, got %v", kappa)
+	}
+	if weights != nil {
+		if len(weights) != s.a.Cols() {
+			return nil, fmt.Errorf("sparse: %d weights for %d atoms", len(weights), s.a.Cols())
+		}
+		for i, w := range weights {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("sparse: weight %d = %v must be positive and finite", i, w)
+			}
+		}
+	}
+	ym := cmat.New(len(y), 1)
+	ym.SetCol(0, y)
+	return s.solveADMMWeighted(ym, kappa, weights)
+}
+
+// ReweightedResult reports the outcome of iteratively reweighted l1.
+type ReweightedResult struct {
+	// Result is the final round's solution.
+	*Result
+	// Rounds actually performed.
+	Rounds int
+}
+
+// SolveReweighted runs iteratively reweighted l1 minimization (Candes,
+// Wakin & Boyd 2008): each round solves a weighted LASSO with weights
+// w_i = 1/(|x_i| + eps) from the previous solution, approximating the l0
+// objective more closely than a single l1 solve and yielding sharper, less
+// biased spectra. rounds >= 1; eps > 0 stabilizes the reweighting (a good
+// default is ~10% of the expected peak magnitude; pass 0 to derive it from
+// the first round's largest coefficient).
+func (s *Solver) SolveReweighted(y []complex128, kappa float64, rounds int, eps float64) (*ReweightedResult, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("sparse: reweighted rounds must be >= 1, got %d", rounds)
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("sparse: negative reweighting eps %v", eps)
+	}
+	res, err := s.SolveWeighted(y, kappa, nil)
+	if err != nil {
+		return nil, err
+	}
+	if eps == 0 {
+		mx := 0.0
+		for _, m := range res.RowMags {
+			if m > mx {
+				mx = m
+			}
+		}
+		if mx == 0 {
+			return &ReweightedResult{Result: res, Rounds: 1}, nil
+		}
+		eps = 0.1 * mx
+	}
+	for round := 2; round <= rounds; round++ {
+		weights := make([]float64, len(res.RowMags))
+		for i, m := range res.RowMags {
+			weights[i] = eps / (m + eps) // normalized so max weight is <= 1
+		}
+		next, err := s.SolveWeighted(y, kappa, weights)
+		if err != nil {
+			return nil, err
+		}
+		res = next
+	}
+	return &ReweightedResult{Result: res, Rounds: rounds}, nil
+}
+
+// solveADMMWeighted is solveADMM with per-atom soft-threshold scaling.
+func (s *Solver) solveADMMWeighted(y *cmat.Matrix, kappa float64, weights []float64) (*Result, error) {
+	n := s.a.Cols()
+	k := y.Cols()
+	rho := s.opts.rho
+
+	aty := cmat.MulH(s.a, y)
+	x := cmat.New(n, k)
+	z := cmat.New(n, k)
+	u := cmat.New(n, k)
+	zOld := cmat.New(n, k)
+	mags := make([]float64, n)
+
+	weightAt := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+
+	iters := 0
+	converged := false
+	for it := 1; it <= s.opts.maxIters; it++ {
+		iters = it
+		v := cmat.New(n, k)
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				v.Set(i, j, aty.At(i, j)+complex(rho, 0)*(z.At(i, j)-u.At(i, j)))
+			}
+		}
+		for j := 0; j < k; j++ {
+			vc := v.Col(j)
+			av := s.a.MulVec(vc)
+			w := s.chol.Solve(av)
+			atw := s.a.MulVecH(w)
+			inv := complex(1/rho, 0)
+			for i := 0; i < n; i++ {
+				x.Set(i, j, (vc[i]-atw[i])*inv)
+			}
+		}
+
+		copyInto(zOld, z)
+		row := make([]complex128, k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				row[j] = x.At(i, j) + u.At(i, j)
+			}
+			GroupSoftThreshold(row, row, kappa*weightAt(i)/rho)
+			for j := 0; j < k; j++ {
+				z.Set(i, j, row[j])
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				u.Set(i, j, u.At(i, j)+x.At(i, j)-z.At(i, j))
+			}
+		}
+
+		s.matHook(it, z, mags)
+
+		priRes := cmat.Sub(x, z).FrobNorm()
+		dualRes := rho * cmat.Sub(z, zOld).FrobNorm()
+		dim := math.Sqrt(float64(n * k))
+		priEps := s.opts.absTol*dim + s.opts.relTol*math.Max(x.FrobNorm(), z.FrobNorm())
+		dualEps := s.opts.absTol*dim + s.opts.relTol*rho*u.FrobNorm()
+		if priRes <= priEps && dualRes <= dualEps {
+			converged = true
+			break
+		}
+	}
+
+	rowMagsInto(z, mags)
+	var l1 float64
+	for i := 0; i < n; i++ {
+		l1 += weightAt(i) * rowNorm(z.Row(i))
+	}
+	r := cmat.Sub(cmat.Mul(s.a, z), y)
+	fit := r.FrobNorm()
+	return &Result{
+		X:          matToColumns(z),
+		RowMags:    mags,
+		Iterations: iters,
+		Converged:  converged,
+		Objective:  0.5*fit*fit + kappa*l1,
+	}, nil
+}

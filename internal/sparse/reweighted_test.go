@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveWeightedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	a, _, y, _ := makeSparseProblem(rng, 20, 50, 3, 0.01)
+	s, err := NewSolver(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveWeighted(y, 0.1, make([]float64, 7)); err == nil {
+		t.Fatal("weight length mismatch should error")
+	}
+	bad := make([]float64, 50)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[3] = 0
+	if _, err := s.SolveWeighted(y, 0.1, bad); err == nil {
+		t.Fatal("zero weight should error")
+	}
+	if _, err := s.SolveWeighted(y[:3], 0.1, nil); err == nil {
+		t.Fatal("measurement length mismatch should error")
+	}
+	if _, err := s.SolveWeighted(y, -1, nil); err == nil {
+		t.Fatal("negative kappa should error")
+	}
+	fista, err := NewSolver(a, WithMethod(MethodFISTA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fista.SolveWeighted(y, 0.1, nil); err == nil {
+		t.Fatal("weighted solve should require ADMM")
+	}
+}
+
+func TestSolveWeightedNilMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	a, _, y, _ := makeSparseProblem(rng, 25, 60, 3, 0.02)
+	s, err := NewSolver(a, WithMaxIters(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Solve(y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := s.SolveWeighted(y, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.RowMags {
+		if d := plain.RowMags[i] - weighted.RowMags[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("nil-weighted solve differs from plain at atom %d", i)
+		}
+	}
+}
+
+// Up-weighting an atom's penalty must suppress it.
+func TestSolveWeightedSuppression(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	a, _, y, support := makeSparseProblem(rng, 25, 60, 2, 0.01)
+	s, err := NewSolver(a, WithMaxIters(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.SolveWeighted(y, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := support[0]
+	if plain.RowMags[target] == 0 {
+		t.Fatal("setup: target atom inactive in plain solve")
+	}
+	weights := make([]float64, 60)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[target] = 1e4
+	suppressed, err := s.SolveWeighted(y, 0.05, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed.RowMags[target] != 0 {
+		t.Fatalf("heavily penalized atom still active: %v", suppressed.RowMags[target])
+	}
+}
+
+func TestSolveReweightedSharpens(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	a, _, y, support := makeSparseProblem(rng, 30, 120, 3, 0.03)
+	s, err := NewSolver(a, WithMaxIters(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kappa := 0.03
+	plain, err := s.Solve(y, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := s.SolveReweighted(y, kappa, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", rw.Rounds)
+	}
+	// Reweighting must not lose the true support...
+	if got := topIndices(rw.RowMags, 3); !sameInts(got, support) {
+		t.Fatalf("reweighted support %v, want %v", got, support)
+	}
+	// ...and must be at least as sparse as the plain solve.
+	count := func(m []float64) int {
+		n := 0
+		for _, v := range m {
+			if v > 1e-8 {
+				n++
+			}
+		}
+		return n
+	}
+	if count(rw.RowMags) > count(plain.RowMags) {
+		t.Fatalf("reweighted solution denser (%d) than plain (%d)",
+			count(rw.RowMags), count(plain.RowMags))
+	}
+}
+
+func TestSolveReweightedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(604))
+	a, _, y, _ := makeSparseProblem(rng, 15, 40, 2, 0.01)
+	s, err := NewSolver(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveReweighted(y, 0.1, 0, 0); err == nil {
+		t.Fatal("zero rounds should error")
+	}
+	if _, err := s.SolveReweighted(y, 0.1, 2, -1); err == nil {
+		t.Fatal("negative eps should error")
+	}
+	// Zero measurement: one round, graceful.
+	res, err := s.SolveReweighted(make([]complex128, 15), 0.1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("zero measurement should stop after round 1, got %d", res.Rounds)
+	}
+}

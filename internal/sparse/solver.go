@@ -1,0 +1,218 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"roarray/internal/cmat"
+)
+
+// Solver solves (group-)LASSO problems against a fixed dictionary A. The
+// expensive per-dictionary work (the Woodbury factorization for ADMM, the
+// Lipschitz constant for FISTA/ISTA) is done once at construction and reused
+// across measurement vectors, which is how ROArray amortizes cost across
+// packets that share a steering dictionary.
+type Solver struct {
+	a    *cmat.Matrix
+	opts options
+
+	chol *cmat.Cholesky // ADMM: factor of (rho I + A Aᴴ), size m x m
+	lip  float64        // FISTA/ISTA: ||A||_2^2
+}
+
+// NewSolver prepares a solver for the m x n dictionary a.
+func NewSolver(a *cmat.Matrix, opts ...Option) (*Solver, error) {
+	o := defaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.maxIters <= 0 {
+		return nil, fmt.Errorf("sparse: max iterations must be positive, got %d", o.maxIters)
+	}
+	s := &Solver{a: a, opts: o}
+	switch o.method {
+	case MethodADMM:
+		if o.rho < 0 {
+			return nil, fmt.Errorf("sparse: ADMM rho must be positive, got %v", o.rho)
+		}
+		if o.rho == 0 {
+			// Scale-adaptive default: the mean squared column norm, i.e.
+			// trace(AᴴA)/n. This is 1 for unit-norm dictionaries and M*L for
+			// steering dictionaries, keeping the ADMM splitting balanced.
+			fn := a.FrobNorm()
+			o.rho = fn * fn / float64(a.Cols())
+			if o.rho == 0 {
+				return nil, fmt.Errorf("sparse: dictionary has zero norm")
+			}
+			s.opts.rho = o.rho
+		}
+		m := a.Rows()
+		// rho I + A Aᴴ is Hermitian positive definite for rho > 0.
+		g := cmat.Mul(a, a.H())
+		for i := 0; i < m; i++ {
+			g.Set(i, i, g.At(i, i)+complex(o.rho, 0))
+		}
+		chol, err := cmat.CholeskyDecompose(g)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: factor ADMM system: %w", err)
+		}
+		s.chol = chol
+	case MethodFISTA, MethodISTA:
+		sigma := cmat.PowerIterationLargestSingular(a, 60)
+		if sigma == 0 {
+			return nil, fmt.Errorf("sparse: dictionary has zero norm")
+		}
+		s.lip = sigma * sigma
+	default:
+		return nil, fmt.Errorf("sparse: unknown method %v", o.method)
+	}
+	return s, nil
+}
+
+// Dict returns the dictionary this solver was built for.
+func (s *Solver) Dict() *cmat.Matrix { return s.a }
+
+// Solve recovers a sparse coefficient vector for a single measurement y,
+// minimizing 1/2||Ax-y||^2 + kappa||x||_1.
+func (s *Solver) Solve(y []complex128, kappa float64) (*Result, error) {
+	if len(y) != s.a.Rows() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(y), s.a.Rows())
+	}
+	ym := cmat.New(len(y), 1)
+	ym.SetCol(0, y)
+	return s.SolveMulti(ym, kappa)
+}
+
+// SolveMulti recovers jointly sparse coefficients for multiple snapshots
+// (columns of y), minimizing 1/2||AX-Y||_F^2 + kappa * sum_i ||X_i,:||_2 —
+// the l2,1 group-sparse program of l1-SVD fusion. With a single column it
+// reduces exactly to Solve.
+func (s *Solver) SolveMulti(y *cmat.Matrix, kappa float64) (*Result, error) {
+	if y.Rows() != s.a.Rows() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, y.Rows(), s.a.Rows())
+	}
+	if kappa < 0 {
+		return nil, fmt.Errorf("sparse: kappa must be nonnegative, got %v", kappa)
+	}
+	switch s.opts.method {
+	case MethodADMM:
+		return s.solveADMM(y, kappa)
+	default:
+		return s.solveProximal(y, kappa)
+	}
+}
+
+// matHook invokes the iteration hook with the row magnitudes of z.
+func (s *Solver) matHook(iter int, z *cmat.Matrix, buf []float64) {
+	if s.opts.hook == nil {
+		return
+	}
+	rowMagsInto(z, buf)
+	s.opts.hook(iter, buf)
+}
+
+func rowMagsInto(x *cmat.Matrix, dst []float64) {
+	for i := 0; i < x.Rows(); i++ {
+		var n2 float64
+		for j := 0; j < x.Cols(); j++ {
+			v := x.At(i, j)
+			n2 += real(v)*real(v) + imag(v)*imag(v)
+		}
+		dst[i] = math.Sqrt(n2)
+	}
+}
+
+// objective evaluates 1/2||AX-Y||_F^2 + kappa*sum_i ||X_i||_2.
+func (s *Solver) objective(x, y *cmat.Matrix, kappa float64) float64 {
+	r := cmat.Sub(cmat.Mul(s.a, x), y)
+	fit := r.FrobNorm()
+	var l1 float64
+	for i := 0; i < x.Rows(); i++ {
+		l1 += rowNorm(x.Row(i))
+	}
+	return 0.5*fit*fit + kappa*l1
+}
+
+func (s *Solver) solveADMM(y *cmat.Matrix, kappa float64) (*Result, error) {
+	// Plain LASSO is the weighted problem with uniform unit weights; the
+	// full ADMM loop lives in solveADMMWeighted (reweighted.go).
+	return s.solveADMMWeighted(y, kappa, nil)
+}
+
+func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64) (*Result, error) {
+	n := s.a.Cols()
+	k := y.Cols()
+	step := 1 / s.lip
+	t := kappa * step
+	accelerated := s.opts.method == MethodFISTA
+
+	x := cmat.New(n, k) // current iterate
+	xPrev := cmat.New(n, k)
+	w := cmat.New(n, k) // extrapolation point
+	mags := make([]float64, n)
+	theta := 1.0
+
+	iters := 0
+	converged := false
+	for it := 1; it <= s.opts.maxIters; it++ {
+		iters = it
+		// Gradient of the smooth part at w: Aᴴ(Aw - Y).
+		grad := cmat.MulH(s.a, cmat.Sub(cmat.Mul(s.a, w), y))
+		copyInto(xPrev, x)
+		row := make([]complex128, k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				row[j] = w.At(i, j) - complex(step, 0)*grad.At(i, j)
+			}
+			GroupSoftThreshold(row, row, t)
+			for j := 0; j < k; j++ {
+				x.Set(i, j, row[j])
+			}
+		}
+
+		if accelerated {
+			thetaNext := (1 + math.Sqrt(1+4*theta*theta)) / 2
+			beta := (theta - 1) / thetaNext
+			for i := 0; i < n; i++ {
+				for j := 0; j < k; j++ {
+					w.Set(i, j, x.At(i, j)+complex(beta, 0)*(x.At(i, j)-xPrev.At(i, j)))
+				}
+			}
+			theta = thetaNext
+		} else {
+			copyInto(w, x)
+		}
+
+		s.matHook(it, x, mags)
+
+		diff := cmat.Sub(x, xPrev).FrobNorm()
+		ref := math.Max(x.FrobNorm(), 1e-12)
+		if diff <= s.opts.absTol+s.opts.relTol*ref {
+			converged = true
+			break
+		}
+	}
+
+	rowMagsInto(x, mags)
+	return &Result{
+		X:          matToColumns(x),
+		RowMags:    mags,
+		Iterations: iters,
+		Converged:  converged,
+		Objective:  s.objective(x, y, kappa),
+	}, nil
+}
+
+func copyInto(dst, src *cmat.Matrix) {
+	for i := 0; i < src.Rows(); i++ {
+		dst.SetRow(i, src.Row(i))
+	}
+}
+
+func matToColumns(x *cmat.Matrix) [][]complex128 {
+	out := make([][]complex128, x.Cols())
+	for j := 0; j < x.Cols(); j++ {
+		out[j] = x.Col(j)
+	}
+	return out
+}

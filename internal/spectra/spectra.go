@@ -1,0 +1,325 @@
+// Package spectra provides the spectrum containers and peak extraction
+// shared by the ROArray sparse estimators and the MUSIC baselines: 1-D AoA
+// spectrums, 2-D joint AoA/ToA spectrums, local-maximum peak finding, and
+// normalization/sharpness metrics.
+package spectra
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Peak is one local maximum of a spectrum.
+type Peak struct {
+	// ThetaDeg is the AoA coordinate in degrees.
+	ThetaDeg float64
+	// Tau is the ToA coordinate in seconds (zero for 1-D AoA spectrums).
+	Tau float64
+	// Power is the spectrum value at the peak (normalized if the spectrum
+	// was normalized).
+	Power float64
+}
+
+// Spectrum1D is a sampled AoA spectrum over a grid of angles.
+type Spectrum1D struct {
+	// ThetaDeg holds the grid angles in ascending order.
+	ThetaDeg []float64
+	// Power holds the spectrum value per grid angle.
+	Power []float64
+}
+
+// NewSpectrum1D validates and wraps a grid/power pair.
+func NewSpectrum1D(thetaDeg, power []float64) (*Spectrum1D, error) {
+	if len(thetaDeg) != len(power) {
+		return nil, fmt.Errorf("spectra: grid length %d != power length %d", len(thetaDeg), len(power))
+	}
+	if len(thetaDeg) == 0 {
+		return nil, fmt.Errorf("spectra: empty spectrum")
+	}
+	return &Spectrum1D{ThetaDeg: thetaDeg, Power: power}, nil
+}
+
+// Normalize scales the power so the maximum is 1 (no-op for an all-zero
+// spectrum). It returns the receiver for chaining.
+func (s *Spectrum1D) Normalize() *Spectrum1D {
+	mx := maxOf(s.Power)
+	if mx > 0 {
+		for i := range s.Power {
+			s.Power[i] /= mx
+		}
+	}
+	return s
+}
+
+// Peaks returns the local maxima with power at least minRel times the global
+// maximum, sorted by descending power. Plateaus report their first sample.
+func (s *Spectrum1D) Peaks(minRel float64) []Peak {
+	mx := maxOf(s.Power)
+	if mx == 0 {
+		return nil
+	}
+	var out []Peak
+	n := len(s.Power)
+	for i := 0; i < n; i++ {
+		v := s.Power[i]
+		if v < minRel*mx {
+			continue
+		}
+		left := math.Inf(-1)
+		if i > 0 {
+			left = s.Power[i-1]
+		}
+		right := math.Inf(-1)
+		if i < n-1 {
+			right = s.Power[i+1]
+		}
+		if v > left && v >= right {
+			theta := s.ThetaDeg[i]
+			if i > 0 && i < n-1 {
+				theta += parabolicOffset(s.Power[i-1], v, s.Power[i+1]) * (s.ThetaDeg[i+1] - s.ThetaDeg[i])
+			}
+			out = append(out, Peak{ThetaDeg: theta, Power: v})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
+	return out
+}
+
+// parabolicOffset returns the sub-grid offset (in grid-step units, within
+// [-0.5, 0.5]) of the vertex of the parabola through three equally spaced
+// samples around a local maximum — the standard quadratic peak
+// interpolation that recovers off-grid peak locations.
+func parabolicOffset(y0, y1, y2 float64) float64 {
+	den := y0 - 2*y1 + y2
+	if den >= 0 {
+		return 0
+	}
+	off := 0.5 * (y0 - y2) / den
+	return math.Max(-0.5, math.Min(0.5, off))
+}
+
+// Sharpness returns the peak-to-mean power ratio, the metric autocalibration
+// maximizes (a sharp single-beam spectrum has high sharpness).
+func (s *Spectrum1D) Sharpness() float64 {
+	mx := maxOf(s.Power)
+	if mx == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Power {
+		sum += v
+	}
+	return mx / (sum / float64(len(s.Power)))
+}
+
+// ASCII renders a coarse textual plot for CLI output; width controls the bar
+// length of the strongest sample, rows controls the angular downsampling.
+func (s *Spectrum1D) ASCII(rows, width int) string {
+	if rows <= 0 || width <= 0 || len(s.Power) == 0 {
+		return ""
+	}
+	mx := maxOf(s.Power)
+	var b strings.Builder
+	step := len(s.Power) / rows
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(s.Power); i += step {
+		frac := 0.0
+		if mx > 0 {
+			frac = s.Power[i] / mx
+		}
+		bars := int(frac*float64(width) + 0.5)
+		fmt.Fprintf(&b, "%6.1f° |%s\n", s.ThetaDeg[i], strings.Repeat("#", bars))
+	}
+	return b.String()
+}
+
+// Spectrum2D is a sampled joint AoA/ToA spectrum: Power[i][j] corresponds to
+// ThetaDeg[i], Tau[j].
+type Spectrum2D struct {
+	ThetaDeg []float64
+	Tau      []float64
+	Power    [][]float64
+}
+
+// NewSpectrum2D validates and wraps the grids and power surface.
+func NewSpectrum2D(thetaDeg, tau []float64, power [][]float64) (*Spectrum2D, error) {
+	if len(power) != len(thetaDeg) {
+		return nil, fmt.Errorf("spectra: power rows %d != theta grid %d", len(power), len(thetaDeg))
+	}
+	if len(thetaDeg) == 0 || len(tau) == 0 {
+		return nil, fmt.Errorf("spectra: empty 2-D spectrum")
+	}
+	for i, row := range power {
+		if len(row) != len(tau) {
+			return nil, fmt.Errorf("spectra: power row %d length %d != tau grid %d", i, len(row), len(tau))
+		}
+	}
+	return &Spectrum2D{ThetaDeg: thetaDeg, Tau: tau, Power: power}, nil
+}
+
+// Max returns the largest power value.
+func (s *Spectrum2D) Max() float64 {
+	mx := 0.0
+	for _, row := range s.Power {
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	return mx
+}
+
+// Normalize scales power so the maximum is 1 and returns the receiver.
+func (s *Spectrum2D) Normalize() *Spectrum2D {
+	mx := s.Max()
+	if mx > 0 {
+		for _, row := range s.Power {
+			for j := range row {
+				row[j] /= mx
+			}
+		}
+	}
+	return s
+}
+
+// Peaks returns local maxima over the 4-neighborhood with power at least
+// minRel times the global maximum, sorted by descending power.
+func (s *Spectrum2D) Peaks(minRel float64) []Peak {
+	mx := s.Max()
+	if mx == 0 {
+		return nil
+	}
+	var out []Peak
+	nt, nu := len(s.ThetaDeg), len(s.Tau)
+	at := func(i, j int) float64 {
+		if i < 0 || i >= nt || j < 0 || j >= nu {
+			return math.Inf(-1)
+		}
+		return s.Power[i][j]
+	}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nu; j++ {
+			v := s.Power[i][j]
+			if v < minRel*mx {
+				continue
+			}
+			if v > at(i-1, j) && v >= at(i+1, j) && v > at(i, j-1) && v >= at(i, j+1) {
+				theta, tau := s.ThetaDeg[i], s.Tau[j]
+				if i > 0 && i < nt-1 {
+					theta += parabolicOffset(s.Power[i-1][j], v, s.Power[i+1][j]) * (s.ThetaDeg[i+1] - s.ThetaDeg[i])
+				}
+				if j > 0 && j < nu-1 {
+					tau += parabolicOffset(s.Power[i][j-1], v, s.Power[i][j+1]) * (s.Tau[j+1] - s.Tau[j])
+				}
+				out = append(out, Peak{ThetaDeg: theta, Tau: tau, Power: v})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
+	return out
+}
+
+// Smooth3x3 returns a copy of the spectrum with each cell replaced by the
+// sum of its 3x3 neighborhood. Sparse (l1) spectra split the energy of an
+// off-grid path across adjacent atoms, halving its apparent peak height;
+// aggregating neighborhoods before peak thresholding undoes the split
+// without moving peak locations materially (peaks are then refined by
+// parabolic interpolation as usual).
+func (s *Spectrum2D) Smooth3x3() *Spectrum2D {
+	nt, nu := len(s.ThetaDeg), len(s.Tau)
+	out := make([][]float64, nt)
+	for i := range out {
+		out[i] = make([]float64, nu)
+		for j := 0; j < nu; j++ {
+			var sum float64
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					ii, jj := i+di, j+dj
+					if ii >= 0 && ii < nt && jj >= 0 && jj < nu {
+						sum += s.Power[ii][jj]
+					}
+				}
+			}
+			out[i][j] = sum
+		}
+	}
+	sm, _ := NewSpectrum2D(
+		append([]float64(nil), s.ThetaDeg...),
+		append([]float64(nil), s.Tau...),
+		out)
+	return sm
+}
+
+// Marginal1D collapses the 2-D spectrum onto the AoA axis by taking the
+// maximum over ToA per angle, for rendering and for AoA-only comparisons.
+func (s *Spectrum2D) Marginal1D() *Spectrum1D {
+	p := make([]float64, len(s.ThetaDeg))
+	for i, row := range s.Power {
+		p[i] = maxOf(row)
+	}
+	return &Spectrum1D{ThetaDeg: append([]float64(nil), s.ThetaDeg...), Power: p}
+}
+
+// Sharpness returns the peak-to-mean power ratio of the surface.
+func (s *Spectrum2D) Sharpness() float64 {
+	mx := s.Max()
+	if mx == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, row := range s.Power {
+		for _, v := range row {
+			sum += v
+			n++
+		}
+	}
+	return mx / (sum / float64(n))
+}
+
+// ClosestPeakError returns the absolute angular difference between the true
+// AoA and the nearest peak, the metric of the paper's Fig. 7 ("difference
+// between the ground truth direct-path AoA and the closest peaks").
+func ClosestPeakError(peaks []Peak, trueAoADeg float64) float64 {
+	if len(peaks) == 0 {
+		return 180
+	}
+	best := math.Inf(1)
+	for _, p := range peaks {
+		if d := math.Abs(p.ThetaDeg - trueAoADeg); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func maxOf(v []float64) float64 {
+	mx := 0.0
+	for _, x := range v {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// UniformGrid returns n evenly spaced samples covering [lo, hi] inclusive.
+func UniformGrid(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

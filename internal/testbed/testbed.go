@@ -1,0 +1,351 @@
+// Package testbed models the paper's experimental deployment: an
+// 18 m x 12 m indoor area with 6 wall-mounted 3-antenna APs and a mobile
+// client (paper Fig. 5). It generates geometry-consistent multipath
+// channels — a direct LoS path plus several wall/scatterer reflections per
+// link — with per-band SNR draws, detection delay, optional phase offsets,
+// and polarization mismatch, so every evaluation figure runs against the
+// same kind of workload the paper measured.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roarray/internal/core"
+	"roarray/internal/wireless"
+)
+
+// AP is one deployed access point with a linear array.
+type AP struct {
+	// Pos is the array center.
+	Pos core.Point
+	// AxisDeg is the array axis orientation (degrees CCW from +x).
+	AxisDeg float64
+}
+
+// Deployment is a full testbed: room, APs, radio parameters.
+type Deployment struct {
+	Room  core.Rect
+	APs   []AP
+	Array wireless.Array
+	OFDM  wireless.OFDM
+	RSSI  wireless.RSSIModel
+}
+
+// Default returns the paper's testbed: an 18 m x 12 m room with 6 APs on
+// the walls, Intel 5300 radios, and an indoor path-loss model.
+func Default() *Deployment {
+	return &Deployment{
+		Room: core.Rect{MinX: 0, MinY: 0, MaxX: 18, MaxY: 12},
+		APs: []AP{
+			{Pos: core.Point{X: 0.1, Y: 6}, AxisDeg: 90},
+			{Pos: core.Point{X: 17.9, Y: 6}, AxisDeg: 90},
+			{Pos: core.Point{X: 4.5, Y: 0.1}, AxisDeg: 0},
+			{Pos: core.Point{X: 13.5, Y: 0.1}, AxisDeg: 0},
+			{Pos: core.Point{X: 4.5, Y: 11.9}, AxisDeg: 0},
+			{Pos: core.Point{X: 13.5, Y: 11.9}, AxisDeg: 0},
+		},
+		Array: wireless.Intel5300Array(),
+		OFDM:  wireless.Intel5300OFDM(),
+		RSSI:  wireless.DefaultRSSIModel(),
+	}
+}
+
+// Validate checks the deployment.
+func (d *Deployment) Validate() error {
+	if len(d.APs) == 0 {
+		return fmt.Errorf("testbed: deployment has no APs")
+	}
+	if d.Room.MaxX <= d.Room.MinX || d.Room.MaxY <= d.Room.MinY {
+		return fmt.Errorf("testbed: empty room %+v", d.Room)
+	}
+	if err := d.Array.Validate(); err != nil {
+		return err
+	}
+	if err := d.OFDM.Validate(); err != nil {
+		return err
+	}
+	return d.RSSI.Validate()
+}
+
+// SNRBand classifies link quality the way the paper's Sec. IV-B does.
+type SNRBand int
+
+// The paper's three SNR regimes: high >= 15 dB, medium in (2, 15) dB,
+// low <= 2 dB.
+const (
+	BandHigh SNRBand = iota + 1
+	BandMedium
+	BandLow
+)
+
+// String implements fmt.Stringer.
+func (b SNRBand) String() string {
+	switch b {
+	case BandHigh:
+		return "high"
+	case BandMedium:
+		return "medium"
+	case BandLow:
+		return "low"
+	default:
+		return fmt.Sprintf("band(%d)", int(b))
+	}
+}
+
+// Sample draws an SNR (dB) uniformly within the band.
+func (b SNRBand) Sample(rng *rand.Rand) float64 {
+	switch b {
+	case BandHigh:
+		return 15 + 10*rng.Float64()
+	case BandMedium:
+		return 2 + 13*rng.Float64()
+	default:
+		return -8 + 10*rng.Float64()
+	}
+}
+
+// ScenarioConfig controls channel synthesis for one client placement.
+type ScenarioConfig struct {
+	// Band sets the SNR regime for every link.
+	Band SNRBand
+	// MinReflections / MaxReflections bound the number of reflected paths
+	// per link; zeros select the paper's "around 5 dominant paths" regime
+	// (3-5 reflections plus the direct path).
+	MinReflections int
+	MaxReflections int
+	// MaxDetectionDelay bounds the per-packet detection delay; zero selects
+	// 200 ns. Negative disables the delay entirely.
+	MaxDetectionDelay float64
+	// PhaseOffsets, when true, draws random per-antenna phase offsets for
+	// each AP (the un-calibrated hardware condition of Fig. 8b).
+	PhaseOffsets bool
+	// PolarizationDeviationDeg applies the client antenna polarization
+	// mismatch of Fig. 8c.
+	PolarizationDeviationDeg float64
+	// NLoSProb is the probability that a link's direct path is partially
+	// blocked (attenuated to 25-60% amplitude), the condition the paper
+	// associates with its low-SNR regime ("far away from APs, serious NLoS,
+	// and interference"). Zero selects a band-dependent default (0.05 high,
+	// 0.3 medium, 0.6 low); negative disables blockage.
+	NLoSProb float64
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	out := c
+	if out.Band == 0 {
+		out.Band = BandHigh
+	}
+	if out.MinReflections == 0 && out.MaxReflections == 0 {
+		out.MinReflections, out.MaxReflections = 3, 5
+	}
+	if out.MaxDetectionDelay == 0 {
+		out.MaxDetectionDelay = 200e-9
+	}
+	if out.MaxDetectionDelay < 0 {
+		out.MaxDetectionDelay = 0
+	}
+	if out.NLoSProb == 0 {
+		switch out.Band {
+		case BandHigh:
+			out.NLoSProb = 0.05
+		case BandMedium:
+			out.NLoSProb = 0.25
+		default:
+			out.NLoSProb = 0.45
+		}
+	}
+	if out.NLoSProb < 0 {
+		out.NLoSProb = 0
+	}
+	return out
+}
+
+// Link is one AP-client channel with its ground truth.
+type Link struct {
+	// APIndex identifies the AP within the deployment.
+	APIndex int
+	// AP is the access point geometry.
+	AP AP
+	// Channel is the synthesized channel configuration; generate packets
+	// from it with wireless.Generate / GenerateBurst.
+	Channel *wireless.ChannelConfig
+	// TrueAoADeg is the geometric direct-path AoA (the Fig. 7 ground truth).
+	TrueAoADeg float64
+	// Distance is the AP-client distance in meters.
+	Distance float64
+	// RSSIdBm is the sampled received signal strength for Eq. 19 weighting.
+	RSSIdBm float64
+	// PhaseOffsetsRad holds the hardware offsets injected for this AP
+	// (empty when ScenarioConfig.PhaseOffsets is false). Ground truth for
+	// calibration experiments.
+	PhaseOffsetsRad []float64
+}
+
+// Scenario is one client placement with all its AP links.
+type Scenario struct {
+	Client core.Point
+	Links  []Link
+}
+
+// RandomClient draws a client position inside the room with a safety margin
+// from the walls.
+func (d *Deployment) RandomClient(rng *rand.Rand) core.Point {
+	const margin = 1.0
+	w := d.Room.MaxX - d.Room.MinX - 2*margin
+	h := d.Room.MaxY - d.Room.MinY - 2*margin
+	return core.Point{
+		X: d.Room.MinX + margin + rng.Float64()*w,
+		Y: d.Room.MinY + margin + rng.Float64()*h,
+	}
+}
+
+// GenerateScenario builds the multipath channels from every AP to the given
+// client: the direct LoS path from geometry plus random wall-scatterer
+// reflections, each with geometry-consistent AoA, ToA, and attenuation.
+func (d *Deployment) GenerateScenario(client core.Point, cfg ScenarioConfig, rng *rand.Rand) (*Scenario, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Room.Contains(client) {
+		return nil, fmt.Errorf("testbed: client %+v outside room %+v", client, d.Room)
+	}
+	full := cfg.withDefaults()
+	if full.MinReflections < 0 || full.MaxReflections < full.MinReflections {
+		return nil, fmt.Errorf("testbed: bad reflection bounds [%d,%d]", full.MinReflections, full.MaxReflections)
+	}
+
+	sc := &Scenario{Client: client, Links: make([]Link, 0, len(d.APs))}
+	for i, ap := range d.APs {
+		link, err := d.generateLink(i, ap, client, full, rng)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: AP %d: %w", i, err)
+		}
+		sc.Links = append(sc.Links, link)
+	}
+	return sc, nil
+}
+
+func (d *Deployment) generateLink(idx int, ap AP, client core.Point, cfg ScenarioConfig, rng *rand.Rand) (Link, error) {
+	dist := ap.Pos.Dist(client)
+	if dist < 0.5 {
+		dist = 0.5
+	}
+	trueAoA := core.ExpectedAoA(ap.Pos, ap.AxisDeg, client)
+
+	// Direct path: unit reference amplitude scaled by 1/distance, random
+	// absolute phase (carrier phase is unknown). Under partial blockage
+	// (NLoS) the direct amplitude drops to 25-60%, letting reflections
+	// rival it — the regime where direct-path identification gets hard.
+	directAmp := 1 / dist
+	blocked := rng.Float64() < cfg.NLoSProb
+	if blocked {
+		directAmp *= 0.25 + 0.35*rng.Float64()
+	}
+	paths := []wireless.Path{{
+		AoADeg: trueAoA,
+		ToA:    dist / wireless.SpeedOfLight,
+		Gain:   polar(directAmp, 2*math.Pi*rng.Float64()),
+	}}
+
+	// Reflections bounce off random scatterers (walls, furniture): AoA from
+	// the scatterer direction, ToA from the two-hop length, amplitude from a
+	// reflection coefficient over the longer traverse.
+	nRefl := cfg.MinReflections
+	if cfg.MaxReflections > cfg.MinReflections {
+		nRefl += rng.Intn(cfg.MaxReflections - cfg.MinReflections + 1)
+	}
+	for r := 0; r < nRefl; r++ {
+		scat := core.Point{
+			X: d.Room.MinX + rng.Float64()*(d.Room.MaxX-d.Room.MinX),
+			Y: d.Room.MinY + rng.Float64()*(d.Room.MaxY-d.Room.MinY),
+		}
+		d1 := ap.Pos.Dist(scat)
+		d2 := scat.Dist(client)
+		if d1 < 0.5 {
+			d1 = 0.5
+		}
+		total := d1 + d2
+		if total <= dist {
+			total = dist + 0.5 // a reflection can never be shorter than LoS
+		}
+		coeff := 0.25 + 0.4*rng.Float64()
+		if blocked {
+			// Blockage affects the LoS ray, not the scattered ones; one
+			// strong reflector often carries most of the energy in NLoS.
+			coeff = 0.4 + 0.5*rng.Float64()
+		}
+		paths = append(paths, wireless.Path{
+			AoADeg: core.ExpectedAoA(ap.Pos, ap.AxisDeg, scat),
+			ToA:    total / wireless.SpeedOfLight,
+			Gain:   polar(coeff/total, 2*math.Pi*rng.Float64()),
+		})
+	}
+
+	var offsets []float64
+	if cfg.PhaseOffsets {
+		offsets = make([]float64, d.Array.NumAntennas)
+		for m := 1; m < len(offsets); m++ {
+			offsets[m] = 2 * math.Pi * rng.Float64()
+		}
+	}
+
+	// Interference pressure rises as link quality falls (the paper lumps
+	// interference into its low-SNR conditions).
+	var iProb, iINR float64
+	switch cfg.Band {
+	case BandHigh:
+		iProb, iINR = 0.05, 0
+	case BandMedium:
+		iProb, iINR = 0.1, 2
+	default:
+		iProb, iINR = 0.25, 3
+	}
+
+	rssi := d.RSSI.Sample(dist, rng)
+	if cfg.PolarizationDeviationDeg > 0 {
+		// Polarization mismatch reduces received power by cos^2(dev).
+		c := math.Cos(cfg.PolarizationDeviationDeg * math.Pi / 180)
+		rssi += 20 * math.Log10(math.Max(c, 1e-3))
+	}
+
+	ch := &wireless.ChannelConfig{
+		Array:                    d.Array,
+		OFDM:                     d.OFDM,
+		Paths:                    paths,
+		SNRdB:                    cfg.Band.Sample(rng),
+		MaxDetectionDelay:        cfg.MaxDetectionDelay,
+		AntennaPhaseOffsetsRad:   offsets,
+		PolarizationDeviationDeg: cfg.PolarizationDeviationDeg,
+		InterferenceProb:         iProb,
+		InterferenceINR:          iINR,
+	}
+	if err := ch.Validate(); err != nil {
+		return Link{}, err
+	}
+	return Link{
+		APIndex:         idx,
+		AP:              ap,
+		Channel:         ch,
+		TrueAoADeg:      trueAoA,
+		Distance:        dist,
+		RSSIdBm:         rssi,
+		PhaseOffsetsRad: offsets,
+	}, nil
+}
+
+// Observation assembles the Eq. 19 localization input from a link and an
+// estimated direct-path AoA.
+func (l *Link) Observation(estimatedAoADeg float64) core.APObservation {
+	return core.APObservation{
+		Pos:     l.AP.Pos,
+		AxisDeg: l.AP.AxisDeg,
+		AoADeg:  estimatedAoADeg,
+		RSSIdBm: l.RSSIdBm,
+	}
+}
+
+func polar(mag, phase float64) complex128 {
+	return complex(mag*math.Cos(phase), mag*math.Sin(phase))
+}

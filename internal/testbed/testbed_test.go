@@ -1,0 +1,192 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roarray/internal/core"
+	"roarray/internal/wireless"
+)
+
+func TestDefaultDeployment(t *testing.T) {
+	d := Default()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.APs) != 6 {
+		t.Fatalf("got %d APs, want 6", len(d.APs))
+	}
+	// Paper Fig. 5: 18 m x 12 m area.
+	if d.Room.MaxX-d.Room.MinX != 18 || d.Room.MaxY-d.Room.MinY != 12 {
+		t.Fatalf("room is %vx%v, want 18x12", d.Room.MaxX-d.Room.MinX, d.Room.MaxY-d.Room.MinY)
+	}
+	for i, ap := range d.APs {
+		if !d.Room.Contains(ap.Pos) {
+			t.Fatalf("AP %d at %+v outside room", i, ap.Pos)
+		}
+	}
+}
+
+func TestSNRBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for i := 0; i < 200; i++ {
+		if v := BandHigh.Sample(rng); v < 15 {
+			t.Fatalf("high band sample %v < 15", v)
+		}
+		if v := BandMedium.Sample(rng); v <= 2 || v >= 15 {
+			t.Fatalf("medium band sample %v outside (2,15)", v)
+		}
+		if v := BandLow.Sample(rng); v > 2 {
+			t.Fatalf("low band sample %v > 2", v)
+		}
+	}
+	if BandHigh.String() != "high" || BandMedium.String() != "medium" || BandLow.String() != "low" {
+		t.Fatal("band names wrong")
+	}
+}
+
+func TestRandomClientInsideRoom(t *testing.T) {
+	d := Default()
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 100; i++ {
+		c := d.RandomClient(rng)
+		if !d.Room.Contains(c) {
+			t.Fatalf("client %+v outside room", c)
+		}
+	}
+}
+
+func TestGenerateScenarioStructure(t *testing.T) {
+	d := Default()
+	rng := rand.New(rand.NewSource(82))
+	client := core.Point{X: 9, Y: 6}
+	sc, err := d.GenerateScenario(client, ScenarioConfig{Band: BandHigh}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Links) != 6 {
+		t.Fatalf("got %d links, want 6", len(sc.Links))
+	}
+	for _, l := range sc.Links {
+		// Direct path must be the first and the earliest.
+		paths := l.Channel.Paths
+		if len(paths) < 4 || len(paths) > 6 {
+			t.Fatalf("AP %d: %d paths, want 4-6", l.APIndex, len(paths))
+		}
+		for _, p := range paths[1:] {
+			if p.ToA < paths[0].ToA {
+				t.Fatalf("AP %d: reflection earlier than direct path", l.APIndex)
+			}
+		}
+		// Geometric consistency of the ground-truth AoA.
+		want := core.ExpectedAoA(l.AP.Pos, l.AP.AxisDeg, client)
+		if math.Abs(l.TrueAoADeg-want) > 1e-9 {
+			t.Fatalf("AP %d: true AoA %v, want %v", l.APIndex, l.TrueAoADeg, want)
+		}
+		if math.Abs(paths[0].AoADeg-want) > 1e-9 {
+			t.Fatalf("AP %d: direct path AoA mismatch", l.APIndex)
+		}
+		// ToAs must fit the unambiguous range.
+		for _, p := range paths {
+			if p.ToA < 0 || p.ToA+l.Channel.MaxDetectionDelay > d.OFDM.MaxToA() {
+				t.Fatalf("AP %d: ToA %v out of range", l.APIndex, p.ToA)
+			}
+		}
+		// SNR band respected.
+		if l.Channel.SNRdB < 15 {
+			t.Fatalf("AP %d: SNR %v below the high band", l.APIndex, l.Channel.SNRdB)
+		}
+		if l.PhaseOffsetsRad != nil {
+			t.Fatal("phase offsets present without being requested")
+		}
+	}
+}
+
+func TestGenerateScenarioOptions(t *testing.T) {
+	d := Default()
+	rng := rand.New(rand.NewSource(83))
+	sc, err := d.GenerateScenario(core.Point{X: 4, Y: 4}, ScenarioConfig{
+		Band:                     BandLow,
+		PhaseOffsets:             true,
+		PolarizationDeviationDeg: 30,
+		MaxDetectionDelay:        -1, // disabled
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range sc.Links {
+		if l.Channel.SNRdB > 2 {
+			t.Fatalf("low band violated: %v", l.Channel.SNRdB)
+		}
+		if len(l.PhaseOffsetsRad) != 3 || l.PhaseOffsetsRad[0] != 0 {
+			t.Fatalf("phase offsets %v malformed", l.PhaseOffsetsRad)
+		}
+		if l.Channel.MaxDetectionDelay != 0 {
+			t.Fatal("detection delay not disabled")
+		}
+		if l.Channel.PolarizationDeviationDeg != 30 {
+			t.Fatal("polarization not propagated")
+		}
+	}
+	// RSSI must decrease under polarization mismatch on average: compare the
+	// same client with and without deviation using identical seeds.
+	rngA := rand.New(rand.NewSource(84))
+	rngB := rand.New(rand.NewSource(84))
+	plain, err := d.GenerateScenario(core.Point{X: 4, Y: 4}, ScenarioConfig{Band: BandHigh}, rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := d.GenerateScenario(core.Point{X: 4, Y: 4}, ScenarioConfig{Band: BandHigh, PolarizationDeviationDeg: 40}, rngB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Links {
+		if dev.Links[i].RSSIdBm >= plain.Links[i].RSSIdBm {
+			t.Fatalf("AP %d: polarization did not reduce RSSI", i)
+		}
+	}
+}
+
+func TestGenerateScenarioValidation(t *testing.T) {
+	d := Default()
+	rng := rand.New(rand.NewSource(85))
+	if _, err := d.GenerateScenario(core.Point{X: -5, Y: 0}, ScenarioConfig{}, rng); err == nil {
+		t.Fatal("client outside room should error")
+	}
+	if _, err := d.GenerateScenario(core.Point{X: 4, Y: 4}, ScenarioConfig{MinReflections: 5, MaxReflections: 2}, rng); err == nil {
+		t.Fatal("bad reflection bounds should error")
+	}
+	bad := Default()
+	bad.APs = nil
+	if _, err := bad.GenerateScenario(core.Point{X: 4, Y: 4}, ScenarioConfig{}, rng); err == nil {
+		t.Fatal("deployment without APs should error")
+	}
+}
+
+func TestLinkObservation(t *testing.T) {
+	l := Link{
+		AP:      AP{Pos: core.Point{X: 1, Y: 2}, AxisDeg: 90},
+		RSSIdBm: -50,
+	}
+	obs := l.Observation(42)
+	if obs.AoADeg != 42 || obs.RSSIdBm != -50 || obs.Pos.X != 1 || obs.AxisDeg != 90 {
+		t.Fatalf("observation wrong: %+v", obs)
+	}
+}
+
+func TestScenarioChannelsGeneratePackets(t *testing.T) {
+	d := Default()
+	rng := rand.New(rand.NewSource(86))
+	sc, err := d.GenerateScenario(core.Point{X: 10, Y: 7}, ScenarioConfig{Band: BandMedium}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := wireless.GenerateBurst(sc.Links[0].Channel, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 || pkts[0].NumAntennas != 3 || pkts[0].NumSubcarriers != 30 {
+		t.Fatal("generated packets malformed")
+	}
+}

@@ -1,0 +1,128 @@
+// Package wireless models the physical-layer substrate the paper measures
+// with Intel 5300 NICs: a uniform linear antenna array, the OFDM subcarrier
+// layout exposed by the Linux CSI tools, multipath propagation, receiver
+// noise, per-packet detection delay, per-antenna phase offsets, polarization
+// loss, and a log-distance RSSI model. All estimation code consumes only the
+// CSI matrices this package produces, mirroring how ROArray consumes CSI
+// from real hardware.
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// SpeedOfLight in meters per second.
+const SpeedOfLight = 2.99792458e8
+
+// Array describes a uniform linear antenna array (ULA).
+type Array struct {
+	// NumAntennas is the element count M.
+	NumAntennas int
+	// Spacing is the inter-element distance d in meters.
+	Spacing float64
+	// Wavelength is the carrier wavelength lambda in meters.
+	Wavelength float64
+}
+
+// Intel5300Array returns the paper's receiver configuration: 3 antennas at
+// half-wavelength spacing on the 5 GHz band (lambda = 5.2 cm, d = 2.6 cm).
+func Intel5300Array() Array {
+	return Array{NumAntennas: 3, Spacing: 0.026, Wavelength: 0.052}
+}
+
+// Validate reports whether the array parameters are physically meaningful.
+func (a Array) Validate() error {
+	if a.NumAntennas < 1 {
+		return fmt.Errorf("wireless: array needs at least 1 antenna, got %d", a.NumAntennas)
+	}
+	if a.Spacing <= 0 || a.Wavelength <= 0 {
+		return fmt.Errorf("wireless: spacing %v and wavelength %v must be positive", a.Spacing, a.Wavelength)
+	}
+	if a.Spacing > a.Wavelength/2+1e-12 {
+		return fmt.Errorf("wireless: spacing %v exceeds lambda/2 = %v, AoA becomes ambiguous on [0,180]",
+			a.Spacing, a.Wavelength/2)
+	}
+	return nil
+}
+
+// PhaseFactor returns Lambda(theta) = exp(-j 2 pi d cos(theta) / lambda),
+// the per-element phase progression of paper Eq. 1.
+func (a Array) PhaseFactor(thetaDeg float64) complex128 {
+	phi := -2 * math.Pi * a.Spacing * math.Cos(thetaDeg*math.Pi/180) / a.Wavelength
+	return cmplx.Exp(complex(0, phi))
+}
+
+// SteeringVector returns s(theta) = [1, Lambda, ..., Lambda^{M-1}]ᵀ
+// (paper Eq. 1).
+func (a Array) SteeringVector(thetaDeg float64) []complex128 {
+	s := make([]complex128, a.NumAntennas)
+	lam := a.PhaseFactor(thetaDeg)
+	cur := complex(1, 0)
+	for m := 0; m < a.NumAntennas; m++ {
+		s[m] = cur
+		cur *= lam
+	}
+	return s
+}
+
+// OFDM describes the measured subcarrier layout.
+type OFDM struct {
+	// NumSubcarriers is the number of subcarriers reported in CSI (L).
+	NumSubcarriers int
+	// SubcarrierSpacing is f_delta in Hz between adjacent *reported*
+	// subcarriers.
+	SubcarrierSpacing float64
+}
+
+// Intel5300OFDM returns the layout of the Linux CSI tool on a 40 MHz
+// channel: 30 reported subcarriers spaced every 4 physical subcarriers,
+// f_delta = 1.25 MHz (paper Sec. III-B, footnote 7).
+func Intel5300OFDM() OFDM {
+	return OFDM{NumSubcarriers: 30, SubcarrierSpacing: 1.25e6}
+}
+
+// Validate reports whether the OFDM parameters are meaningful.
+func (o OFDM) Validate() error {
+	if o.NumSubcarriers < 1 {
+		return fmt.Errorf("wireless: need at least 1 subcarrier, got %d", o.NumSubcarriers)
+	}
+	if o.SubcarrierSpacing <= 0 {
+		return fmt.Errorf("wireless: subcarrier spacing must be positive, got %v", o.SubcarrierSpacing)
+	}
+	return nil
+}
+
+// MaxToA returns the unambiguous ToA range tau_max = 1/f_delta in seconds
+// (800 ns for the Intel 5300 on 40 MHz).
+func (o OFDM) MaxToA() float64 { return 1 / o.SubcarrierSpacing }
+
+// PhaseFactor returns Gamma(tau) = exp(-j 2 pi f_delta tau), the phase
+// progression between adjacent subcarriers caused by a path delay tau
+// (paper Eq. 12).
+func (o OFDM) PhaseFactor(tau float64) complex128 {
+	return cmplx.Exp(complex(0, -2*math.Pi*o.SubcarrierSpacing*tau))
+}
+
+// JointSteeringVector returns the stacked space-frequency steering vector
+// s(theta, tau) of paper Eq. 13: length M*L, ordered antenna-major within
+// each subcarrier so that it matches CSI.StackedVector (paper Eq. 15).
+func JointSteeringVector(a Array, o OFDM, thetaDeg, tau float64) []complex128 {
+	m, l := a.NumAntennas, o.NumSubcarriers
+	out := make([]complex128, m*l)
+	lam := a.PhaseFactor(thetaDeg)
+	gam := o.PhaseFactor(tau)
+	gcur := complex(1, 0)
+	idx := 0
+	for sc := 0; sc < l; sc++ {
+		acur := gcur
+		for ant := 0; ant < m; ant++ {
+			out[idx] = acur
+			acur *= lam
+			idx++
+		}
+		gcur *= gam
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package wireless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func interferenceChannel(prob, inr float64) *ChannelConfig {
+	return &ChannelConfig{
+		Array:            Intel5300Array(),
+		OFDM:             Intel5300OFDM(),
+		Paths:            []Path{{AoADeg: 100, ToA: 50e-9, Gain: 1}},
+		SNRdB:            math.Inf(1),
+		InterferenceProb: prob,
+		InterferenceINR:  inr,
+	}
+}
+
+func TestInterferenceValidation(t *testing.T) {
+	bad := interferenceChannel(1.5, 0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("probability > 1 should error")
+	}
+	bad = interferenceChannel(-0.1, 0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative probability should error")
+	}
+}
+
+func TestInterferenceRaisesPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	clean, err := Generate(interferenceChannel(0, 0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With probability 1 and +6 dB INR the measurement power must roughly
+	// quintuple (signal + 4x interference), modulo cross terms.
+	var hot float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		csi, err := Generate(interferenceChannel(1, 6), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot += csi.Power()
+	}
+	hot /= trials
+	ratio := hot / clean.Power()
+	if ratio < 3 || ratio > 8 {
+		t.Fatalf("interfered/clean power ratio %.2f, want ~5", ratio)
+	}
+}
+
+func TestInterferenceProbabilityZeroIsClean(t *testing.T) {
+	rngA := rand.New(rand.NewSource(301))
+	rngB := rand.New(rand.NewSource(301))
+	a, err := Generate(interferenceChannel(0, 10), rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := interferenceChannel(0, 10)
+	cfg.InterferenceINR = 0
+	b, err := Generate(cfg, rngB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		for l := 0; l < 30; l++ {
+			if a.Data[m][l] != b.Data[m][l] {
+				t.Fatal("INR must be ignored when probability is zero")
+			}
+		}
+	}
+}
+
+func TestInterferenceSporadic(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	cfg := interferenceChannel(0.3, 10)
+	clean, err := Generate(interferenceChannel(0, 0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		csi, err := Generate(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if csi.Power() > 2*clean.Power() {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.18 || frac > 0.42 {
+		t.Fatalf("interference hit fraction %.2f, want ~0.3", frac)
+	}
+}

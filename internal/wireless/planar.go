@@ -1,0 +1,90 @@
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// PlanarArray is a uniform rectangular antenna array in the x-y plane — the
+// 2-D extension the paper's Sec. IV-F proposes to handle arbitrary antenna
+// orientations: with elements along two axes, both azimuth and elevation of
+// an incoming path are observable, and dual polarization becomes possible.
+//
+// Element (i, j) sits at position (i*SpacingX, j*SpacingY). A far-field
+// plane wave with azimuth phi (degrees, from the +x axis) and elevation
+// psi (degrees, from the array plane) has the unit arrival direction
+// (cos psi * cos phi, cos psi * sin phi, sin psi); the phase at element
+// (i, j) leads the origin element by 2 pi (x_i u_x + y_j u_y) / lambda.
+type PlanarArray struct {
+	// NumX, NumY are the element counts along the two axes.
+	NumX, NumY int
+	// SpacingX, SpacingY are the inter-element distances in meters.
+	SpacingX, SpacingY float64
+	// Wavelength is the carrier wavelength in meters.
+	Wavelength float64
+}
+
+// Intel5300PlanarArray returns a 2x3 rectangular array at half-wavelength
+// spacing on the 5 GHz band — the smallest upgrade of the paper's 3-element
+// ULA that resolves elevation.
+func Intel5300PlanarArray() PlanarArray {
+	return PlanarArray{
+		NumX: 3, NumY: 2,
+		SpacingX: 0.026, SpacingY: 0.026,
+		Wavelength: 0.052,
+	}
+}
+
+// Validate reports whether the array parameters are physically meaningful.
+func (a PlanarArray) Validate() error {
+	if a.NumX < 1 || a.NumY < 1 {
+		return fmt.Errorf("wireless: planar array needs >=1 element per axis, got %dx%d", a.NumX, a.NumY)
+	}
+	if a.SpacingX <= 0 || a.SpacingY <= 0 || a.Wavelength <= 0 {
+		return fmt.Errorf("wireless: planar spacings %v/%v and wavelength %v must be positive",
+			a.SpacingX, a.SpacingY, a.Wavelength)
+	}
+	if a.SpacingX > a.Wavelength/2+1e-12 || a.SpacingY > a.Wavelength/2+1e-12 {
+		return fmt.Errorf("wireless: planar spacing beyond lambda/2 makes angles ambiguous")
+	}
+	return nil
+}
+
+// NumElements returns the total element count.
+func (a PlanarArray) NumElements() int { return a.NumX * a.NumY }
+
+// SteeringVector returns the length NumX*NumY steering vector for a plane
+// wave at the given azimuth and elevation (degrees). Elements are ordered
+// x-major: index = j*NumX + i for element (i, j).
+func (a PlanarArray) SteeringVector(azimuthDeg, elevationDeg float64) []complex128 {
+	az := azimuthDeg * math.Pi / 180
+	el := elevationDeg * math.Pi / 180
+	ux := math.Cos(el) * math.Cos(az)
+	uy := math.Cos(el) * math.Sin(az)
+	out := make([]complex128, a.NumX*a.NumY)
+	k := 2 * math.Pi / a.Wavelength
+	idx := 0
+	for j := 0; j < a.NumY; j++ {
+		for i := 0; i < a.NumX; i++ {
+			phase := -k * (float64(i)*a.SpacingX*ux + float64(j)*a.SpacingY*uy)
+			out[idx] = cmplx.Exp(complex(0, phase))
+			idx++
+		}
+	}
+	return out
+}
+
+// PolarizationGain returns the power fraction received by a dual-polarized
+// planar array from a transmitter whose polarization deviates by dev
+// degrees: with both vertical and horizontal elements, the combined gain is
+// cos^2 + sin^2 = 1 regardless of orientation — the fix the paper's
+// Sec. IV-F anticipates for Fig. 8c's degradation. A single-polarization
+// array receives cos^2(dev).
+func (a PlanarArray) PolarizationGain(devDeg float64, dualPolarized bool) float64 {
+	if dualPolarized {
+		return 1
+	}
+	c := math.Cos(devDeg * math.Pi / 180)
+	return c * c
+}

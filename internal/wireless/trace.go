@@ -1,0 +1,116 @@
+package wireless
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a serializable recording of CSI measurements from one link:
+// the radio configuration plus a burst of packets. It lets deployments
+// capture measurements once (e.g. from the Linux CSI tool) and replay them
+// through the estimators offline — and it is the interchange format between
+// a capture box and the localization server in the paper's architecture
+// (APs forward CSI to a central server, Sec. IV-A).
+type Trace struct {
+	Array   Array       `json:"array"`
+	OFDM    OFDM        `json:"ofdm"`
+	Packets []*CSITrace `json:"packets"`
+}
+
+// CSITrace is the wire form of one measurement: complex values flattened
+// to [re, im] pairs, antenna-major within each subcarrier (the Eq. 15
+// stacking order).
+type CSITrace struct {
+	NumAntennas    int `json:"numAntennas"`
+	NumSubcarriers int `json:"numSubcarriers"`
+	// Values holds 2*M*L floats: re/im interleaved over the stacked layout.
+	Values []float64 `json:"values"`
+}
+
+// ToTrace converts a measurement into its wire form.
+func (c *CSI) ToTrace() *CSITrace {
+	stacked := c.StackedVector()
+	vals := make([]float64, 0, 2*len(stacked))
+	for _, v := range stacked {
+		vals = append(vals, real(v), imag(v))
+	}
+	return &CSITrace{
+		NumAntennas:    c.NumAntennas,
+		NumSubcarriers: c.NumSubcarriers,
+		Values:         vals,
+	}
+}
+
+// ToCSI reconstructs the measurement from the wire form.
+func (t *CSITrace) ToCSI() (*CSI, error) {
+	if t.NumAntennas < 1 || t.NumSubcarriers < 1 {
+		return nil, fmt.Errorf("wireless: trace has %dx%d dimensions", t.NumAntennas, t.NumSubcarriers)
+	}
+	want := 2 * t.NumAntennas * t.NumSubcarriers
+	if len(t.Values) != want {
+		return nil, fmt.Errorf("wireless: trace has %d values, want %d", len(t.Values), want)
+	}
+	csi := NewCSI(t.NumAntennas, t.NumSubcarriers)
+	idx := 0
+	for l := 0; l < t.NumSubcarriers; l++ {
+		for m := 0; m < t.NumAntennas; m++ {
+			csi.Data[m][l] = complex(t.Values[idx], t.Values[idx+1])
+			idx += 2
+		}
+	}
+	return csi, nil
+}
+
+// NewTrace records a burst into a trace.
+func NewTrace(arr Array, ofdm OFDM, packets []*CSI) (*Trace, error) {
+	if err := arr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ofdm.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Array: arr, OFDM: ofdm, Packets: make([]*CSITrace, len(packets))}
+	for i, p := range packets {
+		if p.NumAntennas != arr.NumAntennas || p.NumSubcarriers != ofdm.NumSubcarriers {
+			return nil, fmt.Errorf("wireless: packet %d is %dx%d, radio is %dx%d",
+				i, p.NumAntennas, p.NumSubcarriers, arr.NumAntennas, ofdm.NumSubcarriers)
+		}
+		tr.Packets[i] = p.ToTrace()
+	}
+	return tr, nil
+}
+
+// Burst reconstructs the recorded packets.
+func (t *Trace) Burst() ([]*CSI, error) {
+	out := make([]*CSI, len(t.Packets))
+	for i, p := range t.Packets {
+		c, err := p.ToCSI()
+		if err != nil {
+			return nil, fmt.Errorf("wireless: packet %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// ReadTrace deserializes a trace and validates its radio configuration.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("wireless: decode trace: %w", err)
+	}
+	if err := t.Array.Validate(); err != nil {
+		return nil, fmt.Errorf("wireless: trace array: %w", err)
+	}
+	if err := t.OFDM.Validate(); err != nil {
+		return nil, fmt.Errorf("wireless: trace ofdm: %w", err)
+	}
+	return &t, nil
+}

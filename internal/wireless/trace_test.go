@@ -1,0 +1,97 @@
+package wireless
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	arr := Intel5300Array()
+	ofdm := Intel5300OFDM()
+	burst, err := GenerateBurst(&ChannelConfig{
+		Array: arr, OFDM: ofdm,
+		Paths: []Path{{AoADeg: 120, ToA: 60e-9, Gain: 1}},
+		SNRdB: 10,
+	}, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrace(arr, ofdm, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Array != arr || back.OFDM != ofdm {
+		t.Fatal("radio configuration not preserved")
+	}
+	got, err := back.Burst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d packets, want 4", len(got))
+	}
+	for p := range got {
+		for m := 0; m < 3; m++ {
+			for l := 0; l < 30; l++ {
+				if cmplx.Abs(got[p].Data[m][l]-burst[p].Data[m][l]) > 1e-12 {
+					t.Fatalf("packet %d value (%d,%d) not preserved", p, m, l)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	arr := Intel5300Array()
+	ofdm := Intel5300OFDM()
+	if _, err := NewTrace(arr, ofdm, []*CSI{NewCSI(2, 30)}); err == nil {
+		t.Fatal("antenna mismatch should error")
+	}
+	if _, err := NewTrace(Array{}, ofdm, nil); err == nil {
+		t.Fatal("invalid array should error")
+	}
+	bad := &CSITrace{NumAntennas: 3, NumSubcarriers: 30, Values: []float64{1, 2}}
+	if _, err := bad.ToCSI(); err == nil {
+		t.Fatal("short value slice should error")
+	}
+	zero := &CSITrace{}
+	if _, err := zero.ToCSI(); err == nil {
+		t.Fatal("zero dimensions should error")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+	// Valid JSON but an invalid radio configuration.
+	if _, err := ReadTrace(strings.NewReader(`{"array":{},"ofdm":{},"packets":[]}`)); err == nil {
+		t.Fatal("invalid radio config should error")
+	}
+}
+
+func TestTraceBurstSurfacesBadPacket(t *testing.T) {
+	arr := Intel5300Array()
+	ofdm := Intel5300OFDM()
+	tr, err := NewTrace(arr, ofdm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Packets = append(tr.Packets, &CSITrace{NumAntennas: 3, NumSubcarriers: 30, Values: []float64{math.Pi}})
+	if _, err := tr.Burst(); err == nil {
+		t.Fatal("corrupt packet should surface an error")
+	}
+}
