@@ -1,0 +1,30 @@
+# Tier-1 + race gate for the roarray repo. `make check` is the bar every
+# change must clear before merging; the individual targets exist so CI and
+# local loops can run the cheap steps first.
+
+GO ?= go
+
+# Packages that share an Estimator across goroutines — the race gate hammers
+# exactly these so the full -race sweep stays affordable.
+RACE_PKGS := ./internal/core/... ./internal/sparse/...
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Serial-vs-parallel batch engine comparison (see DESIGN.md, Concurrency
+# model); speedup requires GOMAXPROCS >= 2.
+bench:
+	$(GO) test -run XXX -bench 'LocalizeBatch' -benchtime 3x .

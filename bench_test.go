@@ -18,6 +18,7 @@ import (
 	"roarray/internal/experiments"
 	"roarray/internal/music"
 	"roarray/internal/sparse"
+	"roarray/internal/testbed"
 	"roarray/internal/wireless"
 )
 
@@ -196,6 +197,63 @@ func BenchmarkADMMvsFISTA(b *testing.B) {
 		})
 	}
 }
+
+// --- Batch engine benchmarks -------------------------------------------
+
+// batchWorkload builds the 6-AP testbed batch used by the serial/parallel
+// engine comparison: requests at the default deployment with reduced grids
+// so one batch stays in benchmark range.
+func batchWorkload(b *testing.B) (*roarray.Estimator, []*core.LocalizeRequest) {
+	b.Helper()
+	dep := testbed.Default()
+	reqs, _, err := dep.BatchRequests(8, 4, testbed.ScenarioConfig{Band: testbed.BandHigh}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ofdm := roarray.Intel5300OFDM()
+	est, err := roarray.NewEstimator(roarray.Config{
+		Array:     roarray.Intel5300Array(),
+		OFDM:      ofdm,
+		ThetaGrid: roarray.UniformGrid(0, 180, 46),
+		TauGrid:   roarray.UniformGrid(0, ofdm.MaxToA(), 20),
+		SolverOptions: []sparse.Option{
+			sparse.WithMaxIters(80),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return est, reqs
+}
+
+func benchLocalizeBatch(b *testing.B, workers int) {
+	est, reqs := batchWorkload(b)
+	eng, err := roarray.NewEngine(est, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the dictionary/factorization caches outside the timer.
+	if _, errs := eng.LocalizeBatch(reqs[:1]); errs[0] != nil {
+		b.Fatal(errs[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, errs := eng.LocalizeBatch(reqs)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLocalizeBatchSerial measures the 8-request testbed batch on one
+// worker — the pre-engine serving shape.
+func BenchmarkLocalizeBatchSerial(b *testing.B) { benchLocalizeBatch(b, 1) }
+
+// BenchmarkLocalizeBatchParallel measures the same batch with the pool sized
+// by GOMAXPROCS; the ratio to the serial run is the engine's speedup.
+func BenchmarkLocalizeBatchParallel(b *testing.B) { benchLocalizeBatch(b, 0) }
 
 // BenchmarkLocalizeGridSearch measures the Eq. 19 grid search over the
 // 18 m x 12 m room at 10 cm resolution.

@@ -1,19 +1,29 @@
-// Command roabench regenerates the paper's evaluation figures.
+// Command roabench regenerates the paper's evaluation figures and measures
+// the batch localization engine.
 //
 // Usage:
 //
 //	roabench -fig 6 -locations 40            # Fig. 6 at 40 client placements
 //	roabench -fig all -locations 10          # every figure, quick settings
 //	roabench -fig cx                         # Sec. III-C complexity table
+//	roabench -fig 6 -parallel 8              # fan estimation over 8 workers
+//	roabench -batch 32 -parallel 0 -json     # serial-vs-parallel batch bench
 //
 // Figure ids: 2, 3, 4, 6, 7, 8a, 8b, 8c, cx, plus the ablations og
 // (off-grid sensitivity) and ab (solver comparison); "all" runs the paper
 // figures.
+//
+// -batch N skips the figures and instead times Engine.LocalizeBatch over N
+// testbed requests serially and with -parallel workers (0 = GOMAXPROCS),
+// verifying the results are identical; with -json it emits one
+// machine-readable line (ns/op, speedup, workers) for BENCH_*.json
+// trajectory tracking.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,13 +31,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "roabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("roabench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,6,7,8a,8b,8c,cx, ablations og/ab, or all")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -37,10 +47,17 @@ func run(args []string) error {
 	theta := fs.Int("theta", 0, "ROArray AoA grid points (0 = default 46; paper 90)")
 	tau := fs.Int("tau", 0, "ROArray ToA grid points (0 = default 20; paper 50)")
 	iters := fs.Int("iters", 0, "solver iteration cap (0 = default 150)")
+	parallel := fs.Int("parallel", 1, "estimation worker count (0 or negative = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "run the batch localization benchmark over this many requests instead of figures")
+	jsonOut := fs.Bool("json", false, "emit the batch benchmark result as one JSON line")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = -1 // experiments.Options: negative selects GOMAXPROCS
+	}
 	opt := experiments.Options{
 		Seed:        *seed,
 		Locations:   *locations,
@@ -49,6 +66,12 @@ func run(args []string) error {
 		ThetaPoints: *theta,
 		TauPoints:   *tau,
 		SolverIters: *iters,
+		Workers:     workers,
+	}
+
+	if *batch > 0 {
+		opt.Locations = *batch
+		return experiments.RunBatchBench(w, opt, *jsonOut)
 	}
 
 	ids := []string{*fig}
@@ -60,7 +83,7 @@ func run(args []string) error {
 		if runner == nil {
 			return fmt.Errorf("unknown figure %q (valid: %s, all)", id, strings.Join(valid, ", "))
 		}
-		if err := runner(os.Stdout, opt); err != nil {
+		if err := runner(w, opt); err != nil {
 			return fmt.Errorf("figure %s: %w", id, err)
 		}
 	}

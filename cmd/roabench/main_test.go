@@ -1,15 +1,23 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"roarray/internal/experiments"
+)
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run([]string{"-fig", "99"}); err == nil {
+	if err := run(io.Discard, []string{"-fig", "99"}); err == nil {
 		t.Fatal("unknown figure should error")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(io.Discard, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }
@@ -18,12 +26,72 @@ func TestRunSingleFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full figure")
 	}
-	err := run([]string{
+	err := run(io.Discard, []string{
 		"-fig", "3",
 		"-locations", "1", "-packets", "2",
 		"-theta", "31", "-tau", "12", "-iters", "40",
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunBatchJSON drives the -batch mode end to end at tiny settings and
+// checks the emitted line is one parseable BatchBenchResult with sane fields.
+func TestRunBatchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the batch benchmark")
+	}
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-batch", "2", "-parallel", "2",
+		"-packets", "2", "-aps", "3",
+		"-theta", "31", "-tau", "10", "-iters", "40",
+		"-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.ContainsRune(line, '\n') {
+		t.Fatalf("expected exactly one JSON line, got:\n%s", line)
+	}
+	var res experiments.BatchBenchResult
+	if err := json.Unmarshal([]byte(line), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, line)
+	}
+	if res.Benchmark != "LocalizeBatch" {
+		t.Fatalf("benchmark = %q, want LocalizeBatch", res.Benchmark)
+	}
+	if res.Requests != 2 || res.APsPerRequest != 3 || res.Workers != 2 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	if res.SerialNsPerOp <= 0 || res.ParallelNsPerOp <= 0 || res.Speedup <= 0 {
+		t.Fatalf("timings not populated: %+v", res)
+	}
+	if !res.Identical {
+		t.Fatalf("serial and parallel results diverged: %+v", res)
+	}
+}
+
+// TestRunBatchHuman checks the default (non-JSON) batch report.
+func TestRunBatchHuman(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the batch benchmark")
+	}
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-batch", "2",
+		"-packets", "2", "-aps", "3",
+		"-theta", "31", "-tau", "10", "-iters", "40",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serial", "parallel", "speedup", "identical results: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("batch report missing %q:\n%s", want, out)
+		}
 	}
 }

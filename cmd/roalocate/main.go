@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	roalocate -input observations.json [-step 0.1]
+//	roalocate -input observations.json [-step 0.1] [-parallel 8]
 //	roalocate -sample > observations.json    # print a sample input
 //
 // Input format:
@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"roarray"
 )
@@ -73,6 +74,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	input := fs.String("input", "-", "path to the observations JSON ('-' for stdin)")
 	step := fs.Float64("step", 0, "grid step in meters (overrides gridStepMeters; 0 keeps the file's value)")
 	sample := fs.Bool("sample", false, "print a sample input document and exit")
+	parallel := fs.Int("parallel", 1, "grid-search worker count (0 or negative = GOMAXPROCS); the answer is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,10 +113,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *step > 0 {
 		gridStep = *step
 	}
-	pos, err := roarray.Localize(obs, roarray.Rect{
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pos, err := roarray.LocalizeParallel(obs, roarray.Rect{
 		MinX: req.Room.MinX, MinY: req.Room.MinY,
 		MaxX: req.Room.MaxX, MaxY: req.Room.MaxY,
-	}, gridStep)
+	}, gridStep, workers)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"roarray/internal/spectra"
+	"roarray/internal/wireless"
+)
+
+// Engine fans localization work out over a bounded pool of workers while
+// sharing one Estimator — and therefore one set of lazily-built AoA and
+// space-delay dictionaries and their cached solver factorizations (the
+// Woodbury Cholesky factor for ADMM, the Lipschitz constant for FISTA) —
+// across all of them. The estimator's solve path reads that shared state and
+// allocates per-call scratch, so concurrent use is safe; everything mutable
+// lives on the goroutine that created it.
+//
+// Two axes of parallelism are exposed:
+//
+//   - Localize fans the per-AP EstimateJointFused + DirectPath work of one
+//     request over the pool, then runs the Eq. 19 grid search in parallel
+//     column strips.
+//   - LocalizeBatch fans whole independent requests over the pool, keeping
+//     each request's internal pipeline serial (the batch already saturates
+//     the workers; nesting would only oversubscribe).
+//
+// All results are bit-identical to a serial run for any worker count:
+// estimation is deterministic given its inputs, per-request outputs land in
+// index-addressed slots, and the grid search reduces strips in scan order.
+type Engine struct {
+	est     *Estimator
+	workers int
+}
+
+// NewEngine returns an engine running on the given estimator. workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewEngine(est *Estimator, workers int) (*Engine, error) {
+	if est == nil {
+		return nil, fmt.Errorf("core: engine needs an estimator")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{est: est, workers: workers}, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Estimator returns the shared estimator.
+func (e *Engine) Estimator() *Estimator { return e.est }
+
+// Map runs fn(i) for every i in [0, n) across up to Workers() goroutines and
+// returns when all calls have finished. fn must write its result into an
+// index-addressed slot (never append to a shared slice) so that output order
+// is independent of scheduling. With one worker (or n <= 1) it runs inline.
+func (e *Engine) Map(n int, fn func(i int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// LinkInput is one AP's contribution to a localization request: the AP
+// geometry, the link RSSI, and the packet burst to estimate the direct-path
+// AoA from.
+type LinkInput struct {
+	// Pos is the AP (array center) position.
+	Pos Point
+	// AxisDeg is the array axis orientation (degrees CCW from +x).
+	AxisDeg float64
+	// RSSIdBm is the link's received signal strength (Eq. 19 weight).
+	RSSIdBm float64
+	// Packets is the CSI burst for this link.
+	Packets []*wireless.CSI
+}
+
+// LocalizeRequest is one end-to-end localization unit of work: per-AP packet
+// bursts plus the search region.
+type LocalizeRequest struct {
+	Links []LinkInput
+	// Bounds is the position search region.
+	Bounds Rect
+	// Step is the search grid step in meters; <= 0 selects 0.1 m.
+	Step float64
+}
+
+// LinkResult is the per-AP outcome within a LocalizeResult.
+type LinkResult struct {
+	// AoADeg is the estimated direct-path AoA. When Err is non-nil this
+	// falls back to the uninformative broadside 90 degrees, mirroring how a
+	// deployed system degrades rather than aborting on one bad link.
+	AoADeg float64
+	// Peak is the winning spectrum peak (zero value when Err is non-nil).
+	Peak spectra.Peak
+	// Err reports a per-link estimation failure.
+	Err error
+}
+
+// LocalizeResult is the outcome of one request.
+type LocalizeResult struct {
+	// Position is the Eq. 19 grid-search estimate.
+	Position Point
+	// Links holds the per-AP estimates in request order.
+	Links []LinkResult
+}
+
+// validate checks a request before work is scheduled for it.
+func (r *LocalizeRequest) validate() error {
+	if r == nil {
+		return fmt.Errorf("core: nil localization request")
+	}
+	if len(r.Links) < 2 {
+		return fmt.Errorf("core: request needs >= 2 links, got %d", len(r.Links))
+	}
+	if r.Bounds.MaxX <= r.Bounds.MinX || r.Bounds.MaxY <= r.Bounds.MinY {
+		return fmt.Errorf("core: empty request bounds %+v", r.Bounds)
+	}
+	return nil
+}
+
+// estimateLink runs the single-link pipeline (fused joint spectrum, then
+// smallest-ToA direct path) for one request link.
+func (e *Engine) estimateLink(in *LinkInput) LinkResult {
+	const fallbackAoA = 90.0
+	if len(in.Packets) == 0 {
+		return LinkResult{AoADeg: fallbackAoA, Err: fmt.Errorf("core: link has no packets")}
+	}
+	peak, err := e.est.EstimateDirectAoA(in.Packets)
+	if err != nil {
+		return LinkResult{AoADeg: fallbackAoA, Err: err}
+	}
+	return LinkResult{AoADeg: peak.ThetaDeg, Peak: peak}
+}
+
+// Localize processes one request, fanning the per-AP estimation over the
+// worker pool and running the grid search in parallel strips.
+func (e *Engine) Localize(req *LocalizeRequest) (*LocalizeResult, error) {
+	return e.localize(req, e.workers)
+}
+
+// localize runs one request with the given degree of internal parallelism.
+func (e *Engine) localize(req *LocalizeRequest, workers int) (*LocalizeResult, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	out := &LocalizeResult{Links: make([]LinkResult, len(req.Links))}
+	inner := *e
+	inner.workers = workers
+	inner.Map(len(req.Links), func(i int) {
+		out.Links[i] = e.estimateLink(&req.Links[i])
+	})
+	obs := make([]APObservation, len(req.Links))
+	for i, in := range req.Links {
+		obs[i] = APObservation{
+			Pos:     in.Pos,
+			AxisDeg: in.AxisDeg,
+			AoADeg:  out.Links[i].AoADeg,
+			RSSIdBm: in.RSSIdBm,
+		}
+	}
+	pos, err := LocalizeParallel(obs, req.Bounds, req.Step, workers)
+	if err != nil {
+		return nil, err
+	}
+	out.Position = pos
+	return out, nil
+}
+
+// LocalizeBatch processes independent requests concurrently across the
+// worker pool. results[i] and errs[i] correspond to reqs[i]; a request that
+// fails leaves a nil result and its error in errs[i] without affecting the
+// others. Results are identical to calling Localize on each request in a
+// loop, for any worker count.
+func (e *Engine) LocalizeBatch(reqs []*LocalizeRequest) (results []*LocalizeResult, errs []error) {
+	results = make([]*LocalizeResult, len(reqs))
+	errs = make([]error, len(reqs))
+	e.Map(len(reqs), func(i int) {
+		// Each request runs its pipeline serially: the batch fan-out is the
+		// parallelism, and estimation is deterministic either way.
+		results[i], errs[i] = e.localize(reqs[i], 1)
+	})
+	return results, errs
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"roarray/internal/sparse"
+	"roarray/internal/spectra"
+	"roarray/internal/wireless"
+)
+
+// TestEstimatorConcurrentUse hammers one shared Estimator from 16 goroutines
+// running EstimateAoA and EstimateJoint on distinct CSI measurements. Run
+// under `go test -race`: the estimator's only shared state is the
+// sync.Once-guarded dictionaries and solver factorizations, which are
+// read-only after construction, and every solve allocates per-call scratch —
+// this test is the regression gate that keeps it that way. Beyond race
+// detection, every goroutine's spectra are compared bitwise against serial
+// references for the same inputs, so cross-goroutine scratch sharing would
+// fail even on a race-free-but-wrong implementation.
+func TestEstimatorConcurrentUse(t *testing.T) {
+	const goroutines = 16
+	ofdm := wireless.Intel5300OFDM()
+	est, err := NewEstimator(Config{
+		Array:         wireless.Intel5300Array(),
+		OFDM:          ofdm,
+		ThetaGrid:     spectra.UniformGrid(0, 180, 31),
+		TauGrid:       spectra.UniformGrid(0, ofdm.MaxToA(), 8),
+		SolverOptions: []sparse.Option{sparse.WithMaxIters(40)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct per-goroutine measurements from private seeded generators.
+	csis := make([]*wireless.CSI, goroutines)
+	for g := range csis {
+		gen, err := wireless.NewGenerator(&wireless.ChannelConfig{
+			Array: wireless.Intel5300Array(),
+			OFDM:  ofdm,
+			Paths: []wireless.Path{
+				{AoADeg: 20 + 140*float64(g)/goroutines, ToA: 40e-9, Gain: 1},
+				{AoADeg: 160 - 100*float64(g)/goroutines, ToA: 220e-9, Gain: 0.5},
+			},
+			SNRdB: 12,
+		}, int64(1000+g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csis[g], err = gen.Packet()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serial references, computed before any concurrency.
+	refAoA := make([]*spectra.Spectrum1D, goroutines)
+	refJoint := make([]*spectra.Spectrum2D, goroutines)
+	for g, csi := range csis {
+		if refAoA[g], err = est.EstimateAoA(csi); err != nil {
+			t.Fatal(err)
+		}
+		if refJoint[g], err = est.EstimateJoint(csi); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	failures := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				aoa, err := est.EstimateAoA(csis[g])
+				if err != nil {
+					failures <- err.Error()
+					return
+				}
+				joint, err := est.EstimateJoint(csis[g])
+				if err != nil {
+					failures <- err.Error()
+					return
+				}
+				for i := range aoa.Power {
+					if math.Float64bits(aoa.Power[i]) != math.Float64bits(refAoA[g].Power[i]) {
+						failures <- "concurrent AoA spectrum differs from serial reference"
+						return
+					}
+				}
+				for i := range joint.Power {
+					for j := range joint.Power[i] {
+						if math.Float64bits(joint.Power[i][j]) != math.Float64bits(refJoint[g].Power[i][j]) {
+							failures <- "concurrent joint spectrum differs from serial reference"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(failures)
+	for msg := range failures {
+		t.Fatal(msg)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"roarray/internal/wireless"
 )
@@ -68,6 +69,15 @@ func ExpectedAoA(pos Point, axisDeg float64, target Point) float64 {
 // uses a 10 cm grid; step <= 0 selects 0.1 m. RSSI weights are converted to
 // linear milliwatts.
 func Localize(obs []APObservation, bounds Rect, step float64) (Point, error) {
+	return LocalizeParallel(obs, bounds, step, 1)
+}
+
+// LocalizeParallel is Localize with the grid search fanned out over up to
+// workers goroutines (workers <= 1 runs serially). Grid points are addressed
+// by index, cost evaluation order within a point is fixed, and column strips
+// are reduced in scan order with strict-less-than comparison, so the result
+// is bit-identical to the serial search for any worker count.
+func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers int) (Point, error) {
 	if len(obs) < 2 {
 		return Point{}, fmt.Errorf("core: localization needs >= 2 AP observations, got %d", len(obs))
 	}
@@ -81,22 +91,76 @@ func Localize(obs []APObservation, bounds Rect, step float64) (Point, error) {
 	for i, o := range obs {
 		weights[i] = wireless.DBmToMilliwatt(o.RSSIdBm)
 	}
+	nx := gridCount(bounds.MinX, bounds.MaxX, step)
+	ny := gridCount(bounds.MinY, bounds.MaxY, step)
 
-	best := Point{X: bounds.MinX, Y: bounds.MinY}
-	bestCost := math.Inf(1)
-	for x := bounds.MinX; x <= bounds.MaxX+1e-9; x += step {
-		for y := bounds.MinY; y <= bounds.MaxY+1e-9; y += step {
-			p := Point{X: x, Y: y}
-			var cost float64
-			for i, o := range obs {
-				d := ExpectedAoA(o.Pos, o.AxisDeg, p) - o.AoADeg
-				cost += weights[i] * d * d
-			}
-			if cost < bestCost {
-				bestCost = cost
-				best = p
+	// scan evaluates the contiguous column strip [xLo, xHi) in the same
+	// nested x-then-y order as a full serial sweep, keeping the first strict
+	// minimum (earliest x, then earliest y, among equal costs).
+	scan := func(xLo, xHi int) (Point, float64) {
+		best := Point{X: bounds.MinX, Y: bounds.MinY}
+		bestCost := math.Inf(1)
+		for ix := xLo; ix < xHi; ix++ {
+			x := bounds.MinX + float64(ix)*step
+			for iy := 0; iy < ny; iy++ {
+				p := Point{X: x, Y: bounds.MinY + float64(iy)*step}
+				var cost float64
+				for i, o := range obs {
+					d := ExpectedAoA(o.Pos, o.AxisDeg, p) - o.AoADeg
+					cost += weights[i] * d * d
+				}
+				if cost < bestCost {
+					bestCost = cost
+					best = p
+				}
 			}
 		}
+		return best, bestCost
 	}
-	return best, nil
+
+	if workers > nx {
+		workers = nx
+	}
+	if workers <= 1 {
+		best, _ := scan(0, nx)
+		return best, nil
+	}
+
+	type stripBest struct {
+		p    Point
+		cost float64
+	}
+	bests := make([]stripBest, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * nx / workers
+		hi := (w + 1) * nx / workers
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			p, c := scan(lo, hi)
+			bests[slot] = stripBest{p: p, cost: c}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Reduce strips in scan order: strict < reproduces the serial sweep's
+	// first-minimum tie-breaking exactly.
+	best := bests[0]
+	for _, b := range bests[1:] {
+		if b.cost < best.cost {
+			best = b
+		}
+	}
+	return best.p, nil
+}
+
+// gridCount returns the number of samples lo, lo+step, ... not exceeding
+// hi (with the same 1e-9 slack the original sweep used against float
+// accumulation at the far edge).
+func gridCount(lo, hi, step float64) int {
+	n := int((hi-lo+1e-9)/step) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
 }

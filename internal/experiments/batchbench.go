@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"roarray/internal/core"
+	"roarray/internal/stats"
+	"roarray/internal/testbed"
+)
+
+// BatchBenchResult is the machine-readable outcome of one serial-vs-parallel
+// batch localization measurement, one JSON line per run — the format future
+// BENCH_*.json trajectory tracking consumes.
+type BatchBenchResult struct {
+	Benchmark       string  `json:"benchmark"`
+	Requests        int     `json:"requests"`
+	APsPerRequest   int     `json:"apsPerRequest"`
+	Packets         int     `json:"packets"`
+	Workers         int     `json:"workers"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	SerialNsPerOp   int64   `json:"serialNsPerOp"`
+	ParallelNsPerOp int64   `json:"parallelNsPerOp"`
+	Speedup         float64 `json:"speedup"`
+	MedianErrM      float64 `json:"medianErrM"`
+	Identical       bool    `json:"identical"`
+}
+
+// RunBatchBench measures Engine.LocalizeBatch throughput on the paper's 6-AP
+// testbed workload, serial (1 worker) versus parallel (opt.Workers; <= 1
+// selects GOMAXPROCS), verifies the two runs produced bit-identical
+// positions, and writes one line: human-readable by default, a single JSON
+// object when jsonOut is set.
+func RunBatchBench(w io.Writer, opt Options, jsonOut bool) error {
+	opt = opt.withDefaults()
+	workers := opt.Workers
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	dep := testbed.Default()
+	reqs, truth, err := dep.BatchRequests(opt.Locations, opt.Packets, testbed.ScenarioConfig{Band: testbed.BandHigh}, opt.Seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if opt.APs < len(r.Links) {
+			r.Links = r.Links[:opt.APs]
+		}
+	}
+	est, err := core.NewEstimator(opt.estimatorConfig())
+	if err != nil {
+		return err
+	}
+	serial, err := core.NewEngine(est, 1)
+	if err != nil {
+		return err
+	}
+	parallel, err := core.NewEngine(est, workers)
+	if err != nil {
+		return err
+	}
+
+	// Warm the dictionary/factorization caches outside the timed region so
+	// both runs measure steady-state serving cost.
+	if _, errs := serial.LocalizeBatch(reqs[:1]); errs[0] != nil {
+		return fmt.Errorf("experiments: warmup: %w", errs[0])
+	}
+
+	run := func(eng *core.Engine) ([]*core.LocalizeResult, time.Duration, error) {
+		start := time.Now()
+		results, errs := eng.LocalizeBatch(reqs)
+		elapsed := time.Since(start)
+		for i, e := range errs {
+			if e != nil {
+				return nil, 0, fmt.Errorf("experiments: request %d: %w", i, e)
+			}
+		}
+		return results, elapsed, nil
+	}
+	serialRes, serialT, err := run(serial)
+	if err != nil {
+		return err
+	}
+	parallelRes, parallelT, err := run(parallel)
+	if err != nil {
+		return err
+	}
+
+	identical := true
+	locErrs := make([]float64, len(reqs))
+	for i := range serialRes {
+		if serialRes[i].Position != parallelRes[i].Position {
+			identical = false
+		}
+		locErrs[i] = parallelRes[i].Position.Dist(truth[i])
+	}
+	cdf, err := stats.NewCDF(locErrs)
+	if err != nil {
+		return err
+	}
+	res := BatchBenchResult{
+		Benchmark:       "LocalizeBatch",
+		Requests:        len(reqs),
+		APsPerRequest:   opt.APs,
+		Packets:         opt.Packets,
+		Workers:         workers,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		SerialNsPerOp:   serialT.Nanoseconds() / int64(len(reqs)),
+		ParallelNsPerOp: parallelT.Nanoseconds() / int64(len(reqs)),
+		Speedup:         float64(serialT) / math.Max(float64(parallelT), 1),
+		MedianErrM:      cdf.Median(),
+		Identical:       identical,
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		return enc.Encode(res)
+	}
+	header(w, fmt.Sprintf("Batch localization: %d requests, %d APs, %d packets", res.Requests, res.APsPerRequest, res.Packets))
+	fmt.Fprintf(w, "serial   (1 worker):   %v/op\n", time.Duration(res.SerialNsPerOp))
+	fmt.Fprintf(w, "parallel (%d workers): %v/op\n", res.Workers, time.Duration(res.ParallelNsPerOp))
+	fmt.Fprintf(w, "speedup: %.2fx   identical results: %v   median error: %.2f m\n", res.Speedup, res.Identical, res.MedianErrM)
+	if !identical {
+		return fmt.Errorf("experiments: serial and parallel batch results diverged")
+	}
+	return nil
+}

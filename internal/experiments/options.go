@@ -37,6 +37,12 @@ type Options struct {
 	// SolverIters caps the ADMM iterations per solve (default 150 — the
 	// support stabilizes long before full convergence).
 	SolverIters int
+	// Workers bounds the goroutines used for per-link estimation fan-out
+	// (default 1 = serial; negative selects runtime.GOMAXPROCS). Results are
+	// identical for any value: scenario and burst generation stay serial on
+	// the figure's seeded RNG, and only the deterministic estimation work is
+	// parallelized.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +66,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SolverIters == 0 {
 		o.SolverIters = 150
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
 	}
 	return o
 }

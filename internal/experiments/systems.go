@@ -32,6 +32,7 @@ type linkEstimate struct {
 type evalEngine struct {
 	opt      Options
 	est      *core.Estimator
+	eng      *core.Engine
 	spotCfg  *music.SpotFiConfig
 	trackCfg *music.ArrayTrackConfig
 }
@@ -41,6 +42,10 @@ func newEvalEngine(opt Options) (*evalEngine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build estimator: %w", err)
 	}
+	eng, err := core.NewEngine(est, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build engine: %w", err)
+	}
 	cfg := est.Config()
 	// The MUSIC baselines get finer grids than the sparse dictionary: a
 	// pseudospectrum is cheap to evaluate pointwise but its razor-sharp
@@ -49,6 +54,7 @@ func newEvalEngine(opt Options) (*evalEngine, error) {
 	return &evalEngine{
 		opt: opt,
 		est: est,
+		eng: eng,
 		spotCfg: &music.SpotFiConfig{
 			Array:     cfg.Array,
 			OFDM:      cfg.OFDM,
@@ -155,13 +161,20 @@ func (e *evalEngine) evaluateBand(band testbed.SNRBand, systems []string, rng *r
 			bursts[i] = b
 		}
 		for _, sys := range systems {
+			// Estimation is deterministic given the pre-generated bursts, so
+			// fanning links over the engine's workers cannot change any
+			// figure: results land in index-addressed slots and are folded
+			// back in link order.
+			ests := make([]linkEstimate, len(links))
+			e.eng.Map(len(links), func(i int) {
+				ests[i] = e.estimateLink(sys, &links[i], bursts[i])
+			})
 			obs := make([]core.APObservation, len(links))
 			for i := range links {
-				est := e.estimateLink(sys, &links[i], bursts[i])
-				out.AoAErr[sys] = append(out.AoAErr[sys], est.ClosestPeakErr)
-				obs[i] = links[i].Observation(est.DirectAoADeg)
+				out.AoAErr[sys] = append(out.AoAErr[sys], ests[i].ClosestPeakErr)
+				obs[i] = links[i].Observation(ests[i].DirectAoADeg)
 			}
-			pos, err := core.Localize(obs, dep.Room, 0.1)
+			pos, err := core.LocalizeParallel(obs, dep.Room, 0.1, e.eng.Workers())
 			if err != nil {
 				return nil, fmt.Errorf("experiments: localize: %w", err)
 			}

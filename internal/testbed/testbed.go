@@ -335,6 +335,49 @@ func (d *Deployment) generateLink(idx int, ap AP, client core.Point, cfg Scenari
 	}, nil
 }
 
+// BatchRequests builds n independent localization workloads over random
+// client placements: one core.LocalizeRequest per client, each link carrying
+// a packets-deep CSI burst. Request r draws everything from its own RNG
+// seeded baseSeed + r, so any subset of the batch is reproducible in
+// isolation and results do not depend on the order (or concurrency) in which
+// requests are later processed. packets <= 0 selects the paper's 15-packet
+// working point. The returned truth slice holds the ground-truth client
+// position for each request.
+func (d *Deployment) BatchRequests(n, packets int, cfg ScenarioConfig, baseSeed int64) (reqs []*core.LocalizeRequest, truth []core.Point, err error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("testbed: batch size must be positive, got %d", n)
+	}
+	if packets <= 0 {
+		packets = 15
+	}
+	reqs = make([]*core.LocalizeRequest, n)
+	truth = make([]core.Point, n)
+	for r := 0; r < n; r++ {
+		rng := rand.New(rand.NewSource(baseSeed + int64(r)))
+		client := d.RandomClient(rng)
+		sc, err := d.GenerateScenario(client, cfg, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("testbed: request %d: %w", r, err)
+		}
+		links := make([]core.LinkInput, len(sc.Links))
+		for i := range sc.Links {
+			burst, err := wireless.GenerateBurst(sc.Links[i].Channel, packets, rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("testbed: request %d AP %d: %w", r, i, err)
+			}
+			links[i] = core.LinkInput{
+				Pos:     sc.Links[i].AP.Pos,
+				AxisDeg: sc.Links[i].AP.AxisDeg,
+				RSSIdBm: sc.Links[i].RSSIdBm,
+				Packets: burst,
+			}
+		}
+		reqs[r] = &core.LocalizeRequest{Links: links, Bounds: d.Room, Step: 0.1}
+		truth[r] = client
+	}
+	return reqs, truth, nil
+}
+
 // Observation assembles the Eq. 19 localization input from a link and an
 // estimated direct-path AoA.
 func (l *Link) Observation(estimatedAoADeg float64) core.APObservation {

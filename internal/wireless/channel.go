@@ -150,8 +150,14 @@ func (cfg *ChannelConfig) Validate() error {
 }
 
 // Generate synthesizes one CSI measurement (one packet) under cfg using rng
-// for the detection delay and noise draws.
+// for the detection delay and noise draws. The rng is required: every
+// generator takes an explicit per-instance randomness source so that runs
+// are reproducible regardless of goroutine scheduling (there is deliberately
+// no fallback to the global math/rand state).
 func Generate(cfg *ChannelConfig, rng *rand.Rand) (*CSI, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("wireless: Generate needs an explicit *rand.Rand (no global fallback)")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -80,6 +80,26 @@ type (
 	SharpnessFunc = core.SharpnessFunc
 )
 
+// Parallel serving types. An Engine shares one Estimator (and its cached
+// dictionaries and solver factorizations) across a bounded worker pool,
+// fanning out per-AP estimation within a request and whole requests within a
+// batch; results are bit-identical to a serial run for any worker count.
+type (
+	// Engine is the concurrent batch localization engine.
+	Engine = core.Engine
+	// LocalizeRequest is one end-to-end localization unit of work.
+	LocalizeRequest = core.LocalizeRequest
+	// LinkInput is one AP's packet burst plus geometry within a request.
+	LinkInput = core.LinkInput
+	// LocalizeResult is the outcome of one request.
+	LocalizeResult = core.LocalizeResult
+	// LinkResult is the per-AP outcome within a LocalizeResult.
+	LinkResult = core.LinkResult
+	// Generator emits CSI packets from a private, seeded RNG so parallel
+	// workloads are reproducible regardless of scheduling.
+	Generator = wireless.Generator
+)
+
 // Simulation testbed types (the paper's deployment, for users without CSI
 // hardware).
 type (
@@ -134,6 +154,24 @@ func GenerateBurst(cfg *ChannelConfig, n int, rng *rand.Rand) ([]*CSI, error) {
 // uniform position grid.
 func Localize(obs []APObservation, bounds Rect, step float64) (Point, error) {
 	return core.Localize(obs, bounds, step)
+}
+
+// LocalizeParallel is Localize with the grid search fanned out over up to
+// workers goroutines; the result is bit-identical to the serial search.
+func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers int) (Point, error) {
+	return core.LocalizeParallel(obs, bounds, step, workers)
+}
+
+// NewEngine returns a batch localization engine sharing est across a pool of
+// workers (workers <= 0 selects runtime.GOMAXPROCS).
+func NewEngine(est *Estimator, workers int) (*Engine, error) {
+	return core.NewEngine(est, workers)
+}
+
+// NewGenerator returns a CSI generator with its own seeded RNG for
+// scheduling-independent reproducibility.
+func NewGenerator(cfg *ChannelConfig, seed int64) (*Generator, error) {
+	return wireless.NewGenerator(cfg, seed)
 }
 
 // ExpectedAoA returns the AoA at which an array at pos (axis orientation
