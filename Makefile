@@ -4,11 +4,12 @@
 
 GO ?= go
 
-# Packages that share an Estimator across goroutines — the race gate hammers
-# exactly these so the full -race sweep stays affordable.
-RACE_PKGS := ./internal/core/... ./internal/sparse/...
+# Packages that share state across goroutines — the estimator/solver caches
+# and the observability registry/tracer — the race gate hammers exactly these
+# so the full -race sweep stays affordable.
+RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/...
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench profile experiments
 
 check: vet build test race
 
@@ -28,3 +29,15 @@ race:
 # model); speedup requires GOMAXPROCS >= 2.
 bench:
 	$(GO) test -run XXX -bench 'LocalizeBatch' -benchtime 3x .
+
+# CPU and memory profiles of the parallel batch engine, written to
+# ./profiles/ (gitignored). Inspect with `go tool pprof profiles/cpu.pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) test -run XXX -bench BenchmarkLocalizeBatchParallel -benchtime 3x \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof .
+
+# Regenerate the full figure sweep into experiments_output.txt (gitignored;
+# quick settings — raise -locations for paper-scale runs).
+experiments:
+	$(GO) run ./cmd/roabench -fig all > experiments_output.txt

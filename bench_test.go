@@ -203,7 +203,7 @@ func BenchmarkADMMvsFISTA(b *testing.B) {
 // batchWorkload builds the 6-AP testbed batch used by the serial/parallel
 // engine comparison: requests at the default deployment with reduced grids
 // so one batch stays in benchmark range.
-func batchWorkload(b *testing.B) (*roarray.Estimator, []*core.LocalizeRequest) {
+func batchWorkload(b *testing.B, reg *roarray.Metrics) (*roarray.Estimator, []*core.LocalizeRequest) {
 	b.Helper()
 	dep := testbed.Default()
 	reqs, _, err := dep.BatchRequests(8, 4, testbed.ScenarioConfig{Band: testbed.BandHigh}, 1)
@@ -219,6 +219,7 @@ func batchWorkload(b *testing.B) (*roarray.Estimator, []*core.LocalizeRequest) {
 		SolverOptions: []sparse.Option{
 			sparse.WithMaxIters(80),
 		},
+		Metrics: reg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -226,8 +227,8 @@ func batchWorkload(b *testing.B) (*roarray.Estimator, []*core.LocalizeRequest) {
 	return est, reqs
 }
 
-func benchLocalizeBatch(b *testing.B, workers int) {
-	est, reqs := batchWorkload(b)
+func benchLocalizeBatch(b *testing.B, workers int, reg *roarray.Metrics) {
+	est, reqs := batchWorkload(b, reg)
 	eng, err := roarray.NewEngine(est, workers)
 	if err != nil {
 		b.Fatal(err)
@@ -248,12 +249,22 @@ func benchLocalizeBatch(b *testing.B, workers int) {
 }
 
 // BenchmarkLocalizeBatchSerial measures the 8-request testbed batch on one
-// worker — the pre-engine serving shape.
-func BenchmarkLocalizeBatchSerial(b *testing.B) { benchLocalizeBatch(b, 1) }
+// worker — the pre-engine serving shape. No metrics registry is attached, so
+// this is also the nil-registry fast path: instrumentation must cost only
+// pointer checks here (compare against ...SerialMetrics).
+func BenchmarkLocalizeBatchSerial(b *testing.B) { benchLocalizeBatch(b, 1, nil) }
 
 // BenchmarkLocalizeBatchParallel measures the same batch with the pool sized
 // by GOMAXPROCS; the ratio to the serial run is the engine's speedup.
-func BenchmarkLocalizeBatchParallel(b *testing.B) { benchLocalizeBatch(b, 0) }
+func BenchmarkLocalizeBatchParallel(b *testing.B) { benchLocalizeBatch(b, 0, nil) }
+
+// BenchmarkLocalizeBatchSerialMetrics is the serial batch with a live
+// metrics registry recording solver, estimator, and engine telemetry; the
+// delta against BenchmarkLocalizeBatchSerial is the enabled-instrumentation
+// cost (a handful of atomic updates and two clock reads per request).
+func BenchmarkLocalizeBatchSerialMetrics(b *testing.B) {
+	benchLocalizeBatch(b, 1, roarray.NewMetrics())
+}
 
 // BenchmarkLocalizeGridSearch measures the Eq. 19 grid search over the
 // 18 m x 12 m room at 10 cm resolution.

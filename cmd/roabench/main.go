@@ -8,6 +8,8 @@
 //	roabench -fig cx                         # Sec. III-C complexity table
 //	roabench -fig 6 -parallel 8              # fan estimation over 8 workers
 //	roabench -batch 32 -parallel 0 -json     # serial-vs-parallel batch bench
+//	roabench -batch 8 -trace out.jsonl       # JSONL span tree of the run
+//	roabench -batch 8 -metrics-addr :8080 -metrics-hold 30s
 //
 // Figure ids: 2, 3, 4, 6, 7, 8a, 8b, 8c, cx, plus the ablations og
 // (off-grid sensitivity) and ab (solver comparison); "all" runs the paper
@@ -15,9 +17,15 @@
 //
 // -batch N skips the figures and instead times Engine.LocalizeBatch over N
 // testbed requests serially and with -parallel workers (0 = GOMAXPROCS),
-// verifying the results are identical; with -json it emits one
-// machine-readable line (ns/op, speedup, workers) for BENCH_*.json
-// trajectory tracking.
+// verifying the results are identical; with -json it emits exactly one
+// machine-readable line on stdout (ns/op, speedup, workers, and the metrics
+// registry snapshot) for BENCH_*.json trajectory tracking — progress goes to
+// stderr, so the output pipes cleanly into jq.
+//
+// -metrics-addr serves /metrics (JSON registry snapshot), /debug/vars
+// (expvar), and /debug/pprof for the duration of the run; -metrics-hold
+// keeps the server up that much longer afterwards so the final counters can
+// be inspected. -trace FILE streams one JSON span event per pipeline stage.
 package main
 
 import (
@@ -26,18 +34,20 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"roarray"
 	"roarray/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Stderr, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "roabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(stdout, stderr io.Writer, args []string) error {
 	fs := flag.NewFlagSet("roabench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,6,7,8a,8b,8c,cx, ablations og/ab, or all")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -49,7 +59,10 @@ func run(w io.Writer, args []string) error {
 	iters := fs.Int("iters", 0, "solver iteration cap (0 = default 150)")
 	parallel := fs.Int("parallel", 1, "estimation worker count (0 or negative = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "run the batch localization benchmark over this many requests instead of figures")
-	jsonOut := fs.Bool("json", false, "emit the batch benchmark result as one JSON line")
+	jsonOut := fs.Bool("json", false, "emit the batch benchmark result as one JSON line on stdout")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics server up this long after the workload finishes")
+	traceFile := fs.String("trace", "", "write a JSONL span trace of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,11 +80,41 @@ func run(w io.Writer, args []string) error {
 		TauPoints:   *tau,
 		SolverIters: *iters,
 		Workers:     workers,
+		Metrics:     roarray.NewMetrics(),
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		tracer := roarray.NewTracer(f)
+		opt.Tracer = tracer
+		defer func() {
+			if n := tracer.WriteErrors(); n > 0 {
+				fmt.Fprintf(stderr, "roabench: %d span events were lost to trace write errors\n", n)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		srv, err := roarray.ServeDebug(*metricsAddr, opt.Metrics)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "roabench: metrics on http://%s/metrics (pprof on /debug/pprof)\n", srv.Addr())
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Fprintf(stderr, "roabench: holding metrics server for %v\n", *metricsHold)
+				time.Sleep(*metricsHold)
+			}()
+		}
 	}
 
 	if *batch > 0 {
 		opt.Locations = *batch
-		return experiments.RunBatchBench(w, opt, *jsonOut)
+		return experiments.RunBatchBench(stdout, stderr, opt, *jsonOut)
 	}
 
 	ids := []string{*fig}
@@ -83,7 +126,7 @@ func run(w io.Writer, args []string) error {
 		if runner == nil {
 			return fmt.Errorf("unknown figure %q (valid: %s, all)", id, strings.Join(valid, ", "))
 		}
-		if err := runner(w, opt); err != nil {
+		if err := runner(stdout, opt); err != nil {
 			return fmt.Errorf("figure %s: %w", id, err)
 		}
 	}

@@ -4,20 +4,23 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"roarray"
 	"roarray/internal/experiments"
 )
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(io.Discard, []string{"-fig", "99"}); err == nil {
+	if err := run(io.Discard, io.Discard, []string{"-fig", "99"}); err == nil {
 		t.Fatal("unknown figure should error")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run(io.Discard, []string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(io.Discard, io.Discard, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }
@@ -26,7 +29,7 @@ func TestRunSingleFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full figure")
 	}
-	err := run(io.Discard, []string{
+	err := run(io.Discard, io.Discard, []string{
 		"-fig", "3",
 		"-locations", "1", "-packets", "2",
 		"-theta", "31", "-tau", "12", "-iters", "40",
@@ -37,13 +40,15 @@ func TestRunSingleFigure(t *testing.T) {
 }
 
 // TestRunBatchJSON drives the -batch mode end to end at tiny settings and
-// checks the emitted line is one parseable BatchBenchResult with sane fields.
+// checks stdout carries exactly one parseable BatchBenchResult — progress
+// stays on stderr so the line pipes into jq — including the metrics registry
+// snapshot.
 func TestRunBatchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the batch benchmark")
 	}
-	var buf bytes.Buffer
-	err := run(&buf, []string{
+	var buf, progress bytes.Buffer
+	err := run(&buf, &progress, []string{
 		"-batch", "2", "-parallel", "2",
 		"-packets", "2", "-aps", "3",
 		"-theta", "31", "-tau", "10", "-iters", "40",
@@ -54,7 +59,10 @@ func TestRunBatchJSON(t *testing.T) {
 	}
 	line := strings.TrimSpace(buf.String())
 	if strings.ContainsRune(line, '\n') {
-		t.Fatalf("expected exactly one JSON line, got:\n%s", line)
+		t.Fatalf("expected exactly one JSON line on stdout, got:\n%s", line)
+	}
+	if progress.Len() == 0 {
+		t.Fatal("expected human progress on stderr")
 	}
 	var res experiments.BatchBenchResult
 	if err := json.Unmarshal([]byte(line), &res); err != nil {
@@ -72,6 +80,16 @@ func TestRunBatchJSON(t *testing.T) {
 	if !res.Identical {
 		t.Fatalf("serial and parallel results diverged: %+v", res)
 	}
+	for _, key := range []string{
+		"engine.localize.seconds",
+		"sparse.solve.iterations",
+		"sparse.solve.nonconverged_total",
+		"core.dict.cache_hits_total",
+	} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("metrics snapshot missing %q (have %d keys)", key, len(res.Metrics))
+		}
+	}
 }
 
 // TestRunBatchHuman checks the default (non-JSON) batch report.
@@ -80,7 +98,7 @@ func TestRunBatchHuman(t *testing.T) {
 		t.Skip("runs the batch benchmark")
 	}
 	var buf bytes.Buffer
-	err := run(&buf, []string{
+	err := run(&buf, io.Discard, []string{
 		"-batch", "2",
 		"-packets", "2", "-aps", "3",
 		"-theta", "31", "-tau", "10", "-iters", "40",
@@ -92,6 +110,46 @@ func TestRunBatchHuman(t *testing.T) {
 	for _, want := range []string{"serial", "parallel", "speedup", "identical results: true"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("batch report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBatchTrace runs -batch with -trace and checks the file holds a
+// decodable span stream covering every pipeline stage of the batch run.
+func TestRunBatchTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the batch benchmark")
+	}
+	path := filepath.Join(t.TempDir(), "out.trace.jsonl")
+	err := run(io.Discard, io.Discard, []string{
+		"-batch", "2", "-parallel", "2",
+		"-packets", "2", "-aps", "3",
+		"-theta", "31", "-tau", "10", "-iters", "40",
+		"-trace", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := roarray.ReadSpanEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Name] = true
+	}
+	for _, stage := range []string{
+		"localize.batch", "localize.req0", "localize",
+		"estimate.ap0", "estimate.sanitize", "estimate.dict",
+		"estimate.fuse", "estimate.solve", "estimate.peak", "localize.grid",
+	} {
+		if !seen[stage] {
+			t.Errorf("trace missing stage %q", stage)
 		}
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	roalocate -input observations.json [-step 0.1] [-parallel 8]
 //	roalocate -sample > observations.json    # print a sample input
+//	roalocate -input obs.json -trace run.jsonl -metrics-addr :8080
 //
 // Input format:
 //
@@ -23,12 +24,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"roarray"
 )
@@ -63,23 +66,44 @@ type response struct {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "roalocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("roalocate", flag.ContinueOnError)
 	input := fs.String("input", "-", "path to the observations JSON ('-' for stdin)")
 	step := fs.Float64("step", 0, "grid step in meters (overrides gridStepMeters; 0 keeps the file's value)")
 	sample := fs.Bool("sample", false, "print a sample input document and exit")
 	parallel := fs.Int("parallel", 1, "grid-search worker count (0 or negative = GOMAXPROCS); the answer is identical for any value")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+	traceFile := fs.String("trace", "", "write a JSONL span trace of the grid search to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sample {
 		return printSample(stdout)
+	}
+
+	reg := roarray.NewMetrics()
+	if *metricsAddr != "" {
+		srv, err := roarray.ServeDebug(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "roalocate: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	ctx := context.Background()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		ctx = roarray.WithTracer(ctx, roarray.NewTracer(f))
 	}
 
 	var raw []byte
@@ -97,12 +121,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return fmt.Errorf("parse input: %w", err)
 	}
-	obs := make([]roarray.APObservation, len(req.Observations))
+	observations := make([]roarray.APObservation, len(req.Observations))
 	for i, o := range req.Observations {
 		if o.AoADeg < 0 || o.AoADeg > 180 {
 			return fmt.Errorf("observation %d: AoA %v outside [0,180]", i, o.AoADeg)
 		}
-		obs[i] = roarray.APObservation{
+		observations[i] = roarray.APObservation{
 			Pos:     roarray.Point{X: o.X, Y: o.Y},
 			AxisDeg: o.AxisDeg,
 			AoADeg:  o.AoADeg,
@@ -117,15 +141,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pos, err := roarray.LocalizeParallel(obs, roarray.Rect{
+	_, sp := roarray.StartSpan(ctx, "localize.grid")
+	start := time.Now()
+	pos, err := roarray.LocalizeParallel(observations, roarray.Rect{
 		MinX: req.Room.MinX, MinY: req.Room.MinY,
 		MaxX: req.Room.MaxX, MaxY: req.Room.MaxY,
 	}, gridStep, workers)
+	sp.End()
 	if err != nil {
 		return err
 	}
+	reg.Counter("roalocate.requests_total").Inc()
+	reg.Histogram("roalocate.grid.seconds").Observe(time.Since(start).Seconds())
 	enc := json.NewEncoder(stdout)
-	return enc.Encode(response{X: pos.X, Y: pos.Y, Observations: len(obs)})
+	return enc.Encode(response{X: pos.X, Y: pos.Y, Observations: len(observations)})
 }
 
 // printSample writes a plausible input built from the default deployment.

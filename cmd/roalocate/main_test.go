@@ -3,20 +3,25 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"roarray"
 )
 
 func TestSampleRoundTrip(t *testing.T) {
 	var sample bytes.Buffer
-	if err := run([]string{"-sample"}, strings.NewReader(""), &sample); err != nil {
+	if err := run([]string{"-sample"}, strings.NewReader(""), &sample, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// The sample was built from noise-free AoAs at (7.5, 4.5); feeding it
 	// back must localize there.
 	var out bytes.Buffer
-	if err := run([]string{"-input", "-"}, bytes.NewReader(sample.Bytes()), &out); err != nil {
+	if err := run([]string{"-input", "-"}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var resp response
@@ -33,33 +38,33 @@ func TestSampleRoundTrip(t *testing.T) {
 
 func TestRunRejectsBadInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-input", "-"}, strings.NewReader("{not json"), &out); err == nil {
+	if err := run([]string{"-input", "-"}, strings.NewReader("{not json"), &out, io.Discard); err == nil {
 		t.Fatal("malformed JSON should error")
 	}
 	bad := `{"room":{"maxX":10,"maxY":10},"observations":[{"x":0,"y":0,"aoaDeg":270,"rssiDbm":-50}]}`
-	if err := run([]string{"-input", "-"}, strings.NewReader(bad), &out); err == nil {
+	if err := run([]string{"-input", "-"}, strings.NewReader(bad), &out, io.Discard); err == nil {
 		t.Fatal("out-of-range AoA should error")
 	}
 	few := `{"room":{"maxX":10,"maxY":10},"observations":[{"x":0,"y":0,"aoaDeg":90,"rssiDbm":-50}]}`
-	if err := run([]string{"-input", "-"}, strings.NewReader(few), &out); err == nil {
+	if err := run([]string{"-input", "-"}, strings.NewReader(few), &out, io.Discard); err == nil {
 		t.Fatal("single observation should error (Localize needs >= 2)")
 	}
-	if err := run([]string{"-input", "/no/such/file.json"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"-input", "/no/such/file.json"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("missing file should error")
 	}
-	if err := run([]string{"-bogus-flag"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"-bogus-flag"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }
 
 func TestStepOverride(t *testing.T) {
 	var sample bytes.Buffer
-	if err := run([]string{"-sample"}, strings.NewReader(""), &sample); err != nil {
+	if err := run([]string{"-sample"}, strings.NewReader(""), &sample, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
 	// A coarse override still works, just quantized.
-	if err := run([]string{"-input", "-", "-step", "0.5"}, bytes.NewReader(sample.Bytes()), &out); err != nil {
+	if err := run([]string{"-input", "-", "-step", "0.5"}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var resp response
@@ -75,13 +80,13 @@ func TestStepOverride(t *testing.T) {
 // (including 0 = GOMAXPROCS) and requires the exact same answer as serial.
 func TestParallelMatchesSerial(t *testing.T) {
 	var sample bytes.Buffer
-	if err := run([]string{"-sample"}, strings.NewReader(""), &sample); err != nil {
+	if err := run([]string{"-sample"}, strings.NewReader(""), &sample, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var ref response
 	for i, workers := range []string{"1", "4", "0"} {
 		var out bytes.Buffer
-		if err := run([]string{"-input", "-", "-parallel", workers}, bytes.NewReader(sample.Bytes()), &out); err != nil {
+		if err := run([]string{"-input", "-", "-parallel", workers}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		var resp response
@@ -95,5 +100,37 @@ func TestParallelMatchesSerial(t *testing.T) {
 		if resp.X != ref.X || resp.Y != ref.Y {
 			t.Fatalf("-parallel %s: (%v, %v) != serial (%v, %v)", workers, resp.X, resp.Y, ref.X, ref.Y)
 		}
+	}
+}
+
+// TestTraceFlag checks -trace writes a decodable span stream containing the
+// grid-search span.
+func TestTraceFlag(t *testing.T) {
+	var sample bytes.Buffer
+	if err := run([]string{"-sample"}, strings.NewReader(""), &sample, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-input", "-", "-trace", path}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := roarray.ReadSpanEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Name == "localize.grid" && ev.DurNs >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace has no localize.grid span (%d events)", len(events))
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	roasim -out trace.json -ap 0 -x 7.5 -y 4.5 -packets 15 -band medium
 //	roasim -out - | some-other-tool        # write to stdout
+//	roasim -out trace.json -trace spans.jsonl -metrics-addr :8080
 //
 // The output is the wireless.Trace JSON format (one link's burst plus the
 // radio configuration). Ground truth (client position, direct-path AoA) is
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,8 +44,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	packets := fs.Int("packets", 15, "number of packets to capture")
 	band := fs.String("band", "medium", "SNR band: high, medium, or low")
 	seed := fs.Int64("seed", 1, "random seed")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+	traceFile := fs.String("trace", "", "write a JSONL span trace of the capture to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	reg := roarray.NewMetrics()
+	if *metricsAddr != "" {
+		srv, err := roarray.ServeDebug(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "roasim: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	ctx := context.Background()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		ctx = roarray.WithTracer(ctx, roarray.NewTracer(f))
 	}
 
 	var snrBand testbed.SNRBand
@@ -71,16 +94,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			dep.Room.MaxX-dep.Room.MinX, dep.Room.MaxY-dep.Room.MinY)
 	}
 
+	ctx, root := roarray.StartSpan(ctx, "roasim.capture")
+	defer root.End()
 	rng := rand.New(rand.NewSource(*seed))
+	_, scSpan := roarray.StartSpan(ctx, "roasim.scenario")
 	sc, err := dep.GenerateScenario(client, roarray.ScenarioConfig{Band: snrBand}, rng)
+	scSpan.End()
 	if err != nil {
 		return err
 	}
 	link := sc.Links[*apIndex]
+	_, burstSpan := roarray.StartSpan(ctx, "roasim.burst")
 	burst, err := roarray.GenerateBurst(link.Channel, *packets, rng)
+	burstSpan.End()
 	if err != nil {
 		return err
 	}
+	wireless.RecordGenerated(reg, link.Channel.SNRdB, len(burst))
 	trace, err := wireless.NewTrace(dep.Array, dep.OFDM, burst)
 	if err != nil {
 		return err
@@ -95,7 +125,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.Write(w); err != nil {
+	_, wrSpan := roarray.StartSpan(ctx, "roasim.write")
+	err = trace.Write(w)
+	wrSpan.End()
+	if err != nil {
 		return fmt.Errorf("write trace: %w", err)
 	}
 	fmt.Fprintf(stderr, "captured %d packets at AP %d (%.1f, %.1f): client (%.2f, %.2f), true direct AoA %.1f deg, SNR %.1f dB, RSSI %.1f dBm\n",

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"roarray"
@@ -52,6 +54,36 @@ func TestRoasimRoundTripThroughEstimator(t *testing.T) {
 	want := roarray.ExpectedAoA(dep.APs[1].Pos, dep.APs[1].AxisDeg, roarray.Point{X: 12, Y: 6})
 	if math.Abs(direct.ThetaDeg-want) > 8 {
 		t.Fatalf("replayed direct AoA %.1f, want ~%.1f", direct.ThetaDeg, want)
+	}
+}
+
+// TestRoasimTraceFlag checks -trace captures the scenario/burst/write stages.
+func TestRoasimTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errs bytes.Buffer
+	err := run([]string{
+		"-ap", "0", "-packets", "2", "-seed", "3", "-trace", path,
+	}, &out, &errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := roarray.ReadSpanEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Name] = true
+	}
+	for _, stage := range []string{"roasim.capture", "roasim.scenario", "roasim.burst", "roasim.write"} {
+		if !seen[stage] {
+			t.Errorf("trace missing stage %q", stage)
+		}
 	}
 }
 

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"roarray/internal/obs"
 	"roarray/internal/spectra"
 	"roarray/internal/wireless"
 )
@@ -32,10 +35,38 @@ import (
 type Engine struct {
 	est     *Estimator
 	workers int
+	met     *engineMetrics // nil when the estimator has no metrics registry
+}
+
+// engineMetrics caches the engine-level metric handles (request counters and
+// the end-to-end localization latency histogram). Per-worker queue-wait
+// gauges are named dynamically in Map and therefore resolved there, but only
+// when a registry is present.
+type engineMetrics struct {
+	reg          *obs.Registry
+	requests     *obs.Counter
+	batches      *obs.Counter
+	linkFailures *obs.Counter
+	localizeSecs *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		reg:          reg,
+		requests:     reg.Counter("engine.requests_total"),
+		batches:      reg.Counter("engine.batches_total"),
+		linkFailures: reg.Counter("engine.link_failures_total"),
+		localizeSecs: reg.Histogram("engine.localize.seconds", obs.ExpBuckets(0.001, 2, 16)...),
+	}
 }
 
 // NewEngine returns an engine running on the given estimator. workers <= 0
-// selects runtime.GOMAXPROCS(0).
+// selects runtime.GOMAXPROCS(0). The engine inherits the estimator's
+// metrics registry (Config.Metrics): engine-level request counts, latency
+// histograms, and per-worker queue-wait gauges are recorded there.
 func NewEngine(est *Estimator, workers int) (*Engine, error) {
 	if est == nil {
 		return nil, fmt.Errorf("core: engine needs an estimator")
@@ -43,7 +74,7 @@ func NewEngine(est *Estimator, workers int) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{est: est, workers: workers}, nil
+	return &Engine{est: est, workers: workers, met: newEngineMetrics(est.cfg.Metrics)}, nil
 }
 
 // Workers returns the pool size.
@@ -69,14 +100,33 @@ func (e *Engine) Map(n int, fn func(i int)) {
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	met := e.met
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
-			for i := range idx {
+			if met == nil {
+				for i := range idx {
+					fn(i)
+				}
+				return
+			}
+			// Metered path: accumulate the time this worker spends blocked
+			// waiting for work, and publish it as a per-worker gauge when
+			// the fan-out drains. A worker starved by an unbalanced batch
+			// shows up as a high queue-wait relative to its siblings.
+			var wait time.Duration
+			for {
+				t0 := time.Now()
+				i, ok := <-idx
+				wait += time.Since(t0)
+				if !ok {
+					break
+				}
 				fn(i)
 			}
-		}()
+			met.reg.Gauge(fmt.Sprintf("engine.queue_wait_ns.w%d", k)).Set(float64(wait.Nanoseconds()))
+		}(k)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
@@ -145,49 +195,80 @@ func (r *LocalizeRequest) validate() error {
 
 // estimateLink runs the single-link pipeline (fused joint spectrum, then
 // smallest-ToA direct path) for one request link.
-func (e *Engine) estimateLink(in *LinkInput) LinkResult {
+func (e *Engine) estimateLink(ctx context.Context, in *LinkInput) LinkResult {
 	const fallbackAoA = 90.0
 	if len(in.Packets) == 0 {
+		e.met.recordLinkFailure()
 		return LinkResult{AoADeg: fallbackAoA, Err: fmt.Errorf("core: link has no packets")}
 	}
-	peak, err := e.est.EstimateDirectAoA(in.Packets)
+	peak, err := e.est.EstimateDirectAoACtx(ctx, in.Packets)
 	if err != nil {
+		e.met.recordLinkFailure()
 		return LinkResult{AoADeg: fallbackAoA, Err: err}
 	}
 	return LinkResult{AoADeg: peak.ThetaDeg, Peak: peak}
 }
 
+func (m *engineMetrics) recordLinkFailure() {
+	if m == nil {
+		return
+	}
+	m.linkFailures.Inc()
+}
+
 // Localize processes one request, fanning the per-AP estimation over the
 // worker pool and running the grid search in parallel strips.
 func (e *Engine) Localize(req *LocalizeRequest) (*LocalizeResult, error) {
-	return e.localize(req, e.workers)
+	return e.localize(context.Background(), req, e.workers)
+}
+
+// LocalizeCtx is Localize with observability: when ctx carries an
+// obs.Tracer, the call emits a "localize" span with "estimate.ap<i>"
+// children (each wrapping the link's sanitize/dict/fuse/solve/peak stages)
+// and a "localize.grid" span around the Eq. 19 search.
+func (e *Engine) LocalizeCtx(ctx context.Context, req *LocalizeRequest) (*LocalizeResult, error) {
+	return e.localize(ctx, req, e.workers)
 }
 
 // localize runs one request with the given degree of internal parallelism.
-func (e *Engine) localize(req *LocalizeRequest, workers int) (*LocalizeResult, error) {
+func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int) (*LocalizeResult, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
+	}
+	ctx, sp := obs.StartSpan(ctx, "localize")
+	defer sp.End()
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
 	}
 	out := &LocalizeResult{Links: make([]LinkResult, len(req.Links))}
 	inner := *e
 	inner.workers = workers
 	inner.Map(len(req.Links), func(i int) {
-		out.Links[i] = e.estimateLink(&req.Links[i])
+		lctx, lsp := obs.StartSpanf(ctx, "estimate.ap%d", i)
+		out.Links[i] = e.estimateLink(lctx, &req.Links[i])
+		lsp.End()
 	})
-	obs := make([]APObservation, len(req.Links))
+	aps := make([]APObservation, len(req.Links))
 	for i, in := range req.Links {
-		obs[i] = APObservation{
+		aps[i] = APObservation{
 			Pos:     in.Pos,
 			AxisDeg: in.AxisDeg,
 			AoADeg:  out.Links[i].AoADeg,
 			RSSIdBm: in.RSSIdBm,
 		}
 	}
-	pos, err := LocalizeParallel(obs, req.Bounds, req.Step, workers)
+	_, gsp := obs.StartSpan(ctx, "localize.grid")
+	pos, err := LocalizeParallel(aps, req.Bounds, req.Step, workers)
+	gsp.End()
 	if err != nil {
 		return nil, err
 	}
 	out.Position = pos
+	if e.met != nil {
+		e.met.localizeSecs.Observe(time.Since(t0).Seconds())
+		e.met.requests.Inc()
+	}
 	return out, nil
 }
 
@@ -197,12 +278,29 @@ func (e *Engine) localize(req *LocalizeRequest, workers int) (*LocalizeResult, e
 // others. Results are identical to calling Localize on each request in a
 // loop, for any worker count.
 func (e *Engine) LocalizeBatch(reqs []*LocalizeRequest) (results []*LocalizeResult, errs []error) {
+	return e.LocalizeBatchCtx(context.Background(), reqs)
+}
+
+// LocalizeBatchCtx is LocalizeBatch with observability: when ctx carries an
+// obs.Tracer, the batch emits a "localize.batch" root span with one
+// "localize.req<i>" child per request, each wrapping that request's full
+// stage tree. Span emission is mutex-serialized in the tracer, so tracing a
+// parallel batch is race-safe; results remain bit-identical to the untraced
+// run because instrumentation never touches the numeric pipeline.
+func (e *Engine) LocalizeBatchCtx(ctx context.Context, reqs []*LocalizeRequest) (results []*LocalizeResult, errs []error) {
+	ctx, sp := obs.StartSpan(ctx, "localize.batch")
+	defer sp.End()
 	results = make([]*LocalizeResult, len(reqs))
 	errs = make([]error, len(reqs))
 	e.Map(len(reqs), func(i int) {
 		// Each request runs its pipeline serially: the batch fan-out is the
 		// parallelism, and estimation is deterministic either way.
-		results[i], errs[i] = e.localize(reqs[i], 1)
+		rctx, rsp := obs.StartSpanf(ctx, "localize.req%d", i)
+		results[i], errs[i] = e.localize(rctx, reqs[i], 1)
+		rsp.End()
 	})
+	if e.met != nil {
+		e.met.batches.Inc()
+	}
 	return results, errs
 }

@@ -6,12 +6,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"roarray/internal/cmat"
+	"roarray/internal/obs"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/wireless"
@@ -44,6 +47,12 @@ type Config struct {
 	// SolverOptions are passed to the underlying sparse solvers (method,
 	// iteration caps, hooks, ...).
 	SolverOptions []sparse.Option
+	// Metrics, when non-nil, receives estimation telemetry: dictionary
+	// build/cache-hit counters, solve latency histograms, and — via
+	// sparse.WithMetrics, which is appended to SolverOptions automatically —
+	// solver iteration counts and convergence failures. Nil (the default)
+	// disables all recording; the hot path then pays only nil checks.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -92,6 +101,7 @@ func (c *Config) Validate() error {
 // amortize the setup cost.
 type Estimator struct {
 	cfg Config
+	met *estimatorMetrics // nil when cfg.Metrics is nil
 
 	aoaOnce   sync.Once
 	aoaSolver *sparse.Solver
@@ -100,6 +110,27 @@ type Estimator struct {
 	jointOnce   sync.Once
 	jointSolver *sparse.Solver
 	jointErr    error
+}
+
+// estimatorMetrics caches the estimator's metric handles, resolved once at
+// NewEstimator. Keeping handles (not names) on the hot path means a metered
+// estimator pays map lookups only at construction, and a disabled one pays a
+// single nil check per record site.
+type estimatorMetrics struct {
+	dictBuilds   *obs.Counter
+	dictHits     *obs.Counter
+	solveSeconds *obs.Histogram
+}
+
+func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &estimatorMetrics{
+		dictBuilds:   reg.Counter("core.dict.builds_total"),
+		dictHits:     reg.Counter("core.dict.cache_hits_total"),
+		solveSeconds: reg.Histogram("core.solve.seconds", obs.ExpBuckets(0.0005, 2, 16)...),
+	}
 }
 
 // NewEstimator validates cfg and returns an estimator. Grid and solver
@@ -112,7 +143,14 @@ func NewEstimator(cfg Config) (*Estimator, error) {
 	if len(full.ThetaGrid) == 0 || len(full.TauGrid) == 0 {
 		return nil, fmt.Errorf("core: empty estimation grids")
 	}
-	return &Estimator{cfg: full}, nil
+	if full.Metrics != nil {
+		// Thread the registry into the sparse solvers without mutating the
+		// caller's option slice.
+		opts := make([]sparse.Option, 0, len(full.SolverOptions)+1)
+		opts = append(opts, full.SolverOptions...)
+		full.SolverOptions = append(opts, sparse.WithMetrics(full.Metrics))
+	}
+	return &Estimator{cfg: full, met: newEstimatorMetrics(full.Metrics)}, nil
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -144,19 +182,57 @@ func BuildJointDictionary(arr wireless.Array, ofdm wireless.OFDM, thetaGrid, tau
 }
 
 func (e *Estimator) getAoASolver() (*sparse.Solver, error) {
+	built := false
 	e.aoaOnce.Do(func() {
+		built = true
 		dict := BuildAoADictionary(e.cfg.Array, e.cfg.ThetaGrid)
 		e.aoaSolver, e.aoaErr = sparse.NewSolver(dict, e.cfg.SolverOptions...)
 	})
+	e.recordDictAccess(built)
 	return e.aoaSolver, e.aoaErr
 }
 
 func (e *Estimator) getJointSolver() (*sparse.Solver, error) {
+	built := false
 	e.jointOnce.Do(func() {
+		built = true
 		dict := BuildJointDictionary(e.cfg.Array, e.cfg.OFDM, e.cfg.ThetaGrid, e.cfg.TauGrid)
 		e.jointSolver, e.jointErr = sparse.NewSolver(dict, e.cfg.SolverOptions...)
 	})
+	e.recordDictAccess(built)
 	return e.jointSolver, e.jointErr
+}
+
+// recordDictAccess counts a dictionary/factorization access: a build the
+// first time a solver is touched, a cache hit on every reuse. The hit
+// counter is how an operator sees the engine's amortization working — it
+// should dwarf the build counter on a warm server.
+func (e *Estimator) recordDictAccess(built bool) {
+	if e.met == nil {
+		return
+	}
+	if built {
+		e.met.dictBuilds.Inc()
+	} else {
+		e.met.dictHits.Inc()
+	}
+}
+
+// timedSolve runs the group-sparse solve under a span and a latency
+// histogram. The time.Now pair is skipped entirely when metrics are
+// disabled, keeping the nil-registry path free of clock reads.
+func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
+	_, sp := obs.StartSpan(ctx, "estimate.solve")
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
+	}
+	res, err := solver.SolveMulti(y, kappa)
+	if e.met != nil {
+		e.met.solveSeconds.Observe(time.Since(t0).Seconds())
+	}
+	sp.End()
+	return res, err
 }
 
 // kappaFor selects the sparsity weight for a measurement block:
@@ -181,10 +257,21 @@ func kappaFor(dict *cmat.Matrix, y *cmat.Matrix, ratio float64) float64 {
 // measurement, treating the L subcarriers as snapshots that share a common
 // angular support (group sparsity across subcarriers).
 func (e *Estimator) EstimateAoA(csi *wireless.CSI) (*spectra.Spectrum1D, error) {
+	return e.EstimateAoACtx(context.Background(), csi)
+}
+
+// EstimateAoACtx is EstimateAoA with stage tracing: when ctx carries an
+// obs.Tracer it emits "estimate.aoa" with "estimate.dict" and
+// "estimate.solve" children.
+func (e *Estimator) EstimateAoACtx(ctx context.Context, csi *wireless.CSI) (*spectra.Spectrum1D, error) {
 	if csi.NumAntennas != e.cfg.Array.NumAntennas {
 		return nil, fmt.Errorf("core: CSI has %d antennas, config has %d", csi.NumAntennas, e.cfg.Array.NumAntennas)
 	}
+	ctx, sp := obs.StartSpan(ctx, "estimate.aoa")
+	defer sp.End()
+	_, spd := obs.StartSpan(ctx, "estimate.dict")
 	solver, err := e.getAoASolver()
+	spd.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: build AoA solver: %w", err)
 	}
@@ -195,7 +282,7 @@ func (e *Estimator) EstimateAoA(csi *wireless.CSI) (*spectra.Spectrum1D, error) 
 		}
 	}
 	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
-	res, err := solver.SolveMulti(y, kappa)
+	res, err := e.timedSolve(ctx, solver, y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: AoA solve: %w", err)
 	}
@@ -209,7 +296,12 @@ func (e *Estimator) EstimateAoA(csi *wireless.CSI) (*spectra.Spectrum1D, error) 
 // EstimateJoint recovers the joint AoA/ToA spectrum of paper Eq. 18 from a
 // single packet by solving over the stacked space-delay dictionary.
 func (e *Estimator) EstimateJoint(csi *wireless.CSI) (*spectra.Spectrum2D, error) {
-	return e.estimateJointBlock([]*wireless.CSI{csi}, 1)
+	return e.estimateJointBlock(context.Background(), []*wireless.CSI{csi}, 1)
+}
+
+// EstimateJointCtx is EstimateJoint with stage tracing.
+func (e *Estimator) EstimateJointCtx(ctx context.Context, csi *wireless.CSI) (*spectra.Spectrum2D, error) {
+	return e.estimateJointBlock(ctx, []*wireless.CSI{csi}, 1)
 }
 
 // EstimateJointFused coherently fuses a burst of packets (Sec. III-D): the
@@ -219,6 +311,14 @@ func (e *Estimator) EstimateJoint(csi *wireless.CSI) (*spectra.Spectrum2D, error
 // Malioutov et al. that both shrinks the problem and averages noise
 // coherently.
 func (e *Estimator) EstimateJointFused(packets []*wireless.CSI) (*spectra.Spectrum2D, error) {
+	return e.EstimateJointFusedCtx(context.Background(), packets)
+}
+
+// EstimateJointFusedCtx is EstimateJointFused with stage tracing: when ctx
+// carries an obs.Tracer it emits "estimate.sanitize" (delay alignment and
+// interference screening), "estimate.dict", "estimate.fuse" (the l1-SVD
+// compression), and "estimate.solve" spans.
+func (e *Estimator) EstimateJointFusedCtx(ctx context.Context, packets []*wireless.CSI) (*spectra.Spectrum2D, error) {
 	if len(packets) == 0 {
 		return nil, fmt.Errorf("core: fusion needs at least one packet")
 	}
@@ -226,12 +326,16 @@ func (e *Estimator) EstimateJointFused(packets []*wireless.CSI) (*spectra.Spectr
 	// per-packet detection delay is estimated by matched filtering and
 	// compensated first (the paper's delay-estimation step), with
 	// consensus-based outlier rejection against interfered packets.
+	_, sps := obs.StartSpan(ctx, "estimate.sanitize")
 	aligned := AlignAndFilter(packets, e.cfg.OFDM)
-	return e.estimateJointBlock(aligned, e.cfg.MaxPaths)
+	sps.End()
+	return e.estimateJointBlock(ctx, aligned, e.cfg.MaxPaths)
 }
 
-func (e *Estimator) estimateJointBlock(packets []*wireless.CSI, keep int) (*spectra.Spectrum2D, error) {
+func (e *Estimator) estimateJointBlock(ctx context.Context, packets []*wireless.CSI, keep int) (*spectra.Spectrum2D, error) {
+	_, spd := obs.StartSpan(ctx, "estimate.dict")
 	solver, err := e.getJointSolver()
+	spd.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: build joint solver: %w", err)
 	}
@@ -245,15 +349,18 @@ func (e *Estimator) estimateJointBlock(packets []*wireless.CSI, keep int) (*spec
 		y.SetCol(p, v)
 	}
 	if len(packets) > 1 {
+		_, spf := obs.StartSpan(ctx, "estimate.fuse")
 		sv, err := cmat.SVDecompose(y)
 		if err != nil {
+			spf.End()
 			return nil, fmt.Errorf("core: fusion SVD: %w", err)
 		}
 		keep = fusionRank(sv.S, keep, len(packets))
 		y = sv.TruncateLeft(keep)
+		spf.End()
 	}
 	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
-	res, err := solver.SolveMulti(y, kappa)
+	res, err := e.timedSolve(ctx, solver, y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: joint solve: %w", err)
 	}
@@ -385,9 +492,18 @@ func tauStep(tau []float64) float64 {
 // EstimateDirectAoA is the end-to-end single-link pipeline: joint (fused)
 // spectrum, then smallest-ToA direct path. It accepts one or more packets.
 func (e *Estimator) EstimateDirectAoA(packets []*wireless.CSI) (spectra.Peak, error) {
-	spec, err := e.EstimateJointFused(packets)
+	return e.EstimateDirectAoACtx(context.Background(), packets)
+}
+
+// EstimateDirectAoACtx is EstimateDirectAoA with stage tracing: the fused
+// estimation spans plus an "estimate.peak" span around direct-path
+// selection.
+func (e *Estimator) EstimateDirectAoACtx(ctx context.Context, packets []*wireless.CSI) (spectra.Peak, error) {
+	spec, err := e.EstimateJointFusedCtx(ctx, packets)
 	if err != nil {
 		return spectra.Peak{}, err
 	}
+	_, sp := obs.StartSpan(ctx, "estimate.peak")
+	defer sp.End()
 	return e.DirectPath(spec)
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"sync"
 	"testing"
 
+	"roarray/internal/obs"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/wireless"
@@ -105,5 +108,115 @@ func TestEstimatorConcurrentUse(t *testing.T) {
 	close(failures)
 	for msg := range failures {
 		t.Fatal(msg)
+	}
+}
+
+// TestEstimatorConcurrentUseWithObservability is the hammer test with a live
+// metrics registry and tracer attached: 16 goroutines record into the same
+// registry and emit spans through the same tracer while estimating. Run
+// under `go test -race`, it gates the observability layer's concurrency
+// safety; the bitwise comparison against a plain estimator's output also
+// pins that instrumentation never perturbs the numerics.
+func TestEstimatorConcurrentUseWithObservability(t *testing.T) {
+	const goroutines = 16
+	ofdm := wireless.Intel5300OFDM()
+	cfg := Config{
+		Array:         wireless.Intel5300Array(),
+		OFDM:          ofdm,
+		ThetaGrid:     spectra.UniformGrid(0, 180, 31),
+		TauGrid:       spectra.UniformGrid(0, ofdm.MaxToA(), 8),
+		SolverOptions: []sparse.Option{sparse.WithMaxIters(40)},
+	}
+	plain, err := NewEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	metered, err := NewEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csis := make([]*wireless.CSI, goroutines)
+	for g := range csis {
+		gen, err := wireless.NewGenerator(&wireless.ChannelConfig{
+			Array: wireless.Intel5300Array(),
+			OFDM:  ofdm,
+			Paths: []wireless.Path{
+				{AoADeg: 20 + 140*float64(g)/goroutines, ToA: 40e-9, Gain: 1},
+				{AoADeg: 160 - 100*float64(g)/goroutines, ToA: 220e-9, Gain: 0.5},
+			},
+			SNRdB: 12,
+		}, int64(2000+g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csis[g], err = gen.Packet()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	refs := make([]*spectra.Spectrum1D, goroutines)
+	for g, csi := range csis {
+		if refs[g], err = plain.EstimateAoA(csi); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var trace traceBuffer
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(&trace))
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	failures := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				aoa, err := metered.EstimateAoACtx(ctx, csis[g])
+				if err != nil {
+					failures <- err.Error()
+					return
+				}
+				for i := range aoa.Power {
+					if math.Float64bits(aoa.Power[i]) != math.Float64bits(refs[g].Power[i]) {
+						failures <- "metered concurrent AoA spectrum differs from plain serial reference"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(failures)
+	for msg := range failures {
+		t.Fatal(msg)
+	}
+
+	const solves = goroutines * rounds
+	if got := reg.Counter("sparse.solve.total").Value(); got != solves {
+		t.Fatalf("sparse.solve.total = %d, want %d", got, solves)
+	}
+	if got := reg.Counter("core.dict.builds_total").Value(); got != 1 {
+		t.Fatalf("core.dict.builds_total = %d, want 1", got)
+	}
+	if got := reg.Counter("core.dict.cache_hits_total").Value(); got != solves-1 {
+		t.Fatalf("core.dict.cache_hits_total = %d, want %d", got, solves-1)
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aoaSpans int
+	for _, ev := range events {
+		if ev.Name == "estimate.aoa" {
+			aoaSpans++
+		}
+	}
+	if aoaSpans != solves {
+		t.Fatalf("trace has %d estimate.aoa spans, want %d", aoaSpans, solves)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"roarray/internal/core"
+	"roarray/internal/obs"
 	"roarray/internal/stats"
 	"roarray/internal/testbed"
 )
@@ -28,14 +30,23 @@ type BatchBenchResult struct {
 	Speedup         float64 `json:"speedup"`
 	MedianErrM      float64 `json:"medianErrM"`
 	Identical       bool    `json:"identical"`
+	// Metrics is the observability registry snapshot taken after the runs,
+	// present when Options.Metrics is set: solver iteration and latency
+	// histograms, dictionary cache hits, convergence failures.
+	Metrics map[string]any `json:"metrics,omitempty"`
 }
 
 // RunBatchBench measures Engine.LocalizeBatch throughput on the paper's 6-AP
 // testbed workload, serial (1 worker) versus parallel (opt.Workers; <= 1
 // selects GOMAXPROCS), verifies the two runs produced bit-identical
-// positions, and writes one line: human-readable by default, a single JSON
-// object when jsonOut is set.
-func RunBatchBench(w io.Writer, opt Options, jsonOut bool) error {
+// positions, and reports one result. With jsonOut the JSON object is the
+// only thing written to out — human-readable progress goes to msg — so the
+// output can be piped straight into jq. Without jsonOut the human report
+// goes to out. msg may be nil to discard progress.
+func RunBatchBench(out, msg io.Writer, opt Options, jsonOut bool) error {
+	if msg == nil {
+		msg = io.Discard
+	}
 	opt = opt.withDefaults()
 	workers := opt.Workers
 	if workers <= 1 {
@@ -65,15 +76,22 @@ func RunBatchBench(w io.Writer, opt Options, jsonOut bool) error {
 		return err
 	}
 
+	ctx := context.Background()
+	if opt.Tracer != nil {
+		ctx = obs.WithTracer(ctx, opt.Tracer)
+	}
+
 	// Warm the dictionary/factorization caches outside the timed region so
 	// both runs measure steady-state serving cost.
+	fmt.Fprintf(msg, "batch bench: %d requests, %d APs, %d packets, %d workers\n", len(reqs), opt.APs, opt.Packets, workers)
 	if _, errs := serial.LocalizeBatch(reqs[:1]); errs[0] != nil {
 		return fmt.Errorf("experiments: warmup: %w", errs[0])
 	}
 
-	run := func(eng *core.Engine) ([]*core.LocalizeResult, time.Duration, error) {
+	run := func(eng *core.Engine, leg string) ([]*core.LocalizeResult, time.Duration, error) {
+		fmt.Fprintf(msg, "running %s leg (%d workers)...\n", leg, eng.Workers())
 		start := time.Now()
-		results, errs := eng.LocalizeBatch(reqs)
+		results, errs := eng.LocalizeBatchCtx(ctx, reqs)
 		elapsed := time.Since(start)
 		for i, e := range errs {
 			if e != nil {
@@ -82,11 +100,11 @@ func RunBatchBench(w io.Writer, opt Options, jsonOut bool) error {
 		}
 		return results, elapsed, nil
 	}
-	serialRes, serialT, err := run(serial)
+	serialRes, serialT, err := run(serial, "serial")
 	if err != nil {
 		return err
 	}
-	parallelRes, parallelT, err := run(parallel)
+	parallelRes, parallelT, err := run(parallel, "parallel")
 	if err != nil {
 		return err
 	}
@@ -116,14 +134,19 @@ func RunBatchBench(w io.Writer, opt Options, jsonOut bool) error {
 		MedianErrM:      cdf.Median(),
 		Identical:       identical,
 	}
-	if jsonOut {
-		enc := json.NewEncoder(w)
-		return enc.Encode(res)
+	if opt.Metrics != nil {
+		res.Metrics = opt.Metrics.Snapshot()
 	}
-	header(w, fmt.Sprintf("Batch localization: %d requests, %d APs, %d packets", res.Requests, res.APsPerRequest, res.Packets))
-	fmt.Fprintf(w, "serial   (1 worker):   %v/op\n", time.Duration(res.SerialNsPerOp))
-	fmt.Fprintf(w, "parallel (%d workers): %v/op\n", res.Workers, time.Duration(res.ParallelNsPerOp))
-	fmt.Fprintf(w, "speedup: %.2fx   identical results: %v   median error: %.2f m\n", res.Speedup, res.Identical, res.MedianErrM)
+	if jsonOut {
+		if err := json.NewEncoder(out).Encode(res); err != nil {
+			return err
+		}
+	} else {
+		header(out, fmt.Sprintf("Batch localization: %d requests, %d APs, %d packets", res.Requests, res.APsPerRequest, res.Packets))
+		fmt.Fprintf(out, "serial   (1 worker):   %v/op\n", time.Duration(res.SerialNsPerOp))
+		fmt.Fprintf(out, "parallel (%d workers): %v/op\n", res.Workers, time.Duration(res.ParallelNsPerOp))
+		fmt.Fprintf(out, "speedup: %.2fx   identical results: %v   median error: %.2f m\n", res.Speedup, res.Identical, res.MedianErrM)
+	}
 	if !identical {
 		return fmt.Errorf("experiments: serial and parallel batch results diverged")
 	}

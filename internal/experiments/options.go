@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"roarray/internal/core"
+	"roarray/internal/obs"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/testbed"
@@ -43,6 +44,13 @@ type Options struct {
 	// the figure's seeded RNG, and only the deterministic estimation work is
 	// parallelized.
 	Workers int
+	// Metrics, when non-nil, threads an observability registry through the
+	// estimator, engine, and sparse solvers; RunBatchBench also embeds its
+	// snapshot in the JSON result. Nil disables all recording.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives JSONL span events for every pipeline
+	// stage of the run.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +93,7 @@ func (o Options) estimatorConfig() core.Config {
 		SolverOptions: []sparse.Option{
 			sparse.WithMaxIters(o.SolverIters),
 		},
+		Metrics: o.Metrics,
 	}
 }
 

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket convention: bucket i holds
+// v <= bounds[i], so a value exactly on a bound lands in that bound's bucket
+// and anything above the last bound lands in the overflow slot.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{0.5, 0},
+		{1, 0}, // exactly on the first bound
+		{1.0001, 1},
+		{2, 1}, // exactly on the second bound
+		{3.9, 2},
+		{4, 2},      // exactly on the last bound
+		{4.0001, 3}, // overflow
+		{100, 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	wantCounts := []int64{2, 2, 2, 2}
+	snap := h.Snapshot()
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Fatalf("bucket %d count = %d, want %d (snapshot %+v)", i, snap.Counts[i], want, snap)
+		}
+	}
+	if snap.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(cases))
+	}
+	wantSum := 0.0
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+// TestHistogramUnsortedBounds checks bounds are sorted at construction.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 4, 1, 2)
+	h.Observe(1.5)
+	snap := h.Snapshot()
+	if snap.Bounds[0] != 1 || snap.Bounds[2] != 4 {
+		t.Fatalf("bounds not sorted: %v", snap.Bounds)
+	}
+	if snap.Counts[1] != 1 {
+		t.Fatalf("1.5 should land in the (1,2] bucket: %+v", snap)
+	}
+}
+
+// TestNilRegistryFastPath: a nil registry must hand out nil handles whose
+// methods are all no-ops — this is the disabled hot path the estimator and
+// solvers rely on.
+func TestNilRegistryFastPath(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 1, 2)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil || len(m) != 0 {
+		t.Fatalf("nil registry JSON should be an empty object, got %q (%v)", buf.String(), err)
+	}
+	r.PublishExpvar("nil-reg") // must not panic
+}
+
+// TestRegistryGetOrCreate: repeated lookups return the same handle, and
+// histogram bounds from later calls are ignored.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter handle not stable")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("gauge handle not stable")
+	}
+	h1 := r.Histogram("x", 1, 2, 3)
+	h2 := r.Histogram("x", 99)
+	if h1 != h2 {
+		t.Fatal("histogram handle not stable")
+	}
+	if got := h1.Snapshot().Bounds; len(got) != 3 {
+		t.Fatalf("first-registration bounds must win, got %v", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — run
+// under -race — and checks the final counts are exact (no lost updates).
+func TestRegistryConcurrent(t *testing.T) {
+	const goroutines = 16
+	const perG = 500
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("events").Inc()
+				r.Gauge("depth").Set(float64(i))
+				r.Histogram("lat", 1, 10, 100).Observe(float64(i % 120))
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent readers must be safe
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("events").Value(); got != goroutines*perG {
+		t.Fatalf("events = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("lat").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestSnapshotJSONShape: the snapshot marshals counters as numbers and
+// histograms as the documented object shape.
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h", 1, 2).Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, buf.String())
+	}
+	var c int64
+	if err := json.Unmarshal(m["c"], &c); err != nil || c != 3 {
+		t.Fatalf("counter c = %s, want 3", m["c"])
+	}
+	var hs HistogramSnapshot
+	if err := json.Unmarshal(m["h"], &hs); err != nil {
+		t.Fatalf("histogram shape: %v", err)
+	}
+	if hs.Count != 1 || hs.Sum != 1.5 || len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("unexpected histogram snapshot %+v", hs)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	wantLin := []float64{0, 5, 10}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, wantLin)
+		}
+	}
+}

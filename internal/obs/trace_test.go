@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanNesting builds a three-level tree and checks the emitted events
+// carry the right parent links, a shared trace id, and nested durations.
+func TestSpanNesting(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithTracer(context.Background(), NewTracer(&buf))
+
+	ctx, root := StartSpan(ctx, "localize")
+	cctx, child := StartSpan(ctx, "estimate.ap0")
+	_, grand := StartSpan(cctx, "estimate.solve")
+	grand.End()
+	child.End()
+	root.End()
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byName := map[string]SpanEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	r, c, g := byName["localize"], byName["estimate.ap0"], byName["estimate.solve"]
+	if r.Parent != 0 {
+		t.Fatalf("root has parent %d", r.Parent)
+	}
+	if c.Parent != r.Span || g.Parent != c.Span {
+		t.Fatalf("parent links wrong: root=%d child.parent=%d child=%d grand.parent=%d",
+			r.Span, c.Parent, c.Span, g.Parent)
+	}
+	if r.Trace != r.Span || c.Trace != r.Span || g.Trace != r.Span {
+		t.Fatalf("trace ids not shared: %+v %+v %+v", r, c, g)
+	}
+	if r.DurNs < c.DurNs || c.DurNs < g.DurNs {
+		t.Fatalf("durations not nested: root %d, child %d, grand %d", r.DurNs, c.DurNs, g.DurNs)
+	}
+}
+
+// TestSiblingSpans: ending one child must not steal the parent from the next
+// — the context, not End order, defines the tree.
+func TestSiblingSpans(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithTracer(context.Background(), NewTracer(&buf))
+	ctx, root := StartSpan(ctx, "batch")
+	_, a := StartSpan(ctx, "req0")
+	a.End()
+	_, b := StartSpan(ctx, "req1")
+	b.End()
+	root.End()
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Name != "batch" && ev.Parent == 0 {
+			t.Fatalf("sibling %q lost its parent: %+v", ev.Name, ev)
+		}
+	}
+}
+
+// TestNoTracerFastPath: spans on an untraced context must be nil and End
+// must be safe, including the formatted variant.
+func TestNoTracerFastPath(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatal("untraced StartSpan must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must not derive a new context")
+	}
+	sp.End() // no-op
+	_, spf := StartSpanf(ctx, "estimate.ap%d", 3)
+	if spf != nil {
+		t.Fatal("untraced StartSpanf must return a nil span")
+	}
+	spf.End()
+	if TracerFrom(ctx) != nil {
+		t.Fatal("bare context has no tracer")
+	}
+}
+
+// TestSpanEndIdempotent: double End emits exactly one event.
+func TestSpanEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithTracer(context.Background(), NewTracer(&buf))
+	_, sp := StartSpan(ctx, "once")
+	sp.End()
+	sp.End()
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("double End emitted %d events, want 1", len(events))
+	}
+}
+
+// TestTraceRoundTrip: every field written by the tracer survives the JSONL
+// decode, and StartSpanf names are formatted.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithTracer(context.Background(), NewTracer(&buf))
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpanf(ctx, "estimate.ap%d", i)
+		sp.End()
+	}
+	root.End()
+	events, err := ReadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev.Name] = true
+		if ev.Span == 0 || ev.StartUnixNs == 0 || ev.DurNs < 0 {
+			t.Fatalf("event missing fields: %+v", ev)
+		}
+	}
+	for _, want := range []string{"root", "estimate.ap0", "estimate.ap1", "estimate.ap2"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+}
+
+// TestTracerConcurrent emits spans from many goroutines — run under -race —
+// and checks every line still decodes (writes are line-atomic).
+func TestTracerConcurrent(t *testing.T) {
+	var buf syncBuffer
+	tr := NewTracer(&buf)
+	base := WithTracer(context.Background(), tr)
+	const goroutines = 16
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctx, sp := StartSpanf(base, "worker%d", g)
+				_, inner := StartSpan(ctx, "stage")
+				inner.End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	events, err := ReadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != goroutines*perG*2 {
+		t.Fatalf("got %d events, want %d", len(events), goroutines*perG*2)
+	}
+	if tr.WriteErrors() != 0 {
+		t.Fatalf("tracer reported %d write errors", tr.WriteErrors())
+	}
+}
+
+// syncBuffer serializes writes; the tracer already locks, but the test reads
+// concurrently-written bytes back, so keep the buffer itself race-free too.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -17,6 +17,8 @@ package sparse
 import (
 	"errors"
 	"fmt"
+
+	"roarray/internal/obs"
 )
 
 // Method selects the optimization algorithm.
@@ -59,6 +61,7 @@ type options struct {
 	relTol   float64
 	rho      float64
 	hook     IterationHook
+	metrics  *obs.Registry
 }
 
 func defaultOptions() options {
@@ -95,8 +98,20 @@ func WithRho(rho float64) Option { return func(o *options) { o.rho = rho } }
 // AoA spectrum as it sharpens across iterations (paper Fig. 3).
 func WithIterationHook(h IterationHook) Option { return func(o *options) { o.hook = h } }
 
+// WithMetrics records solver telemetry into reg: a "sparse.solve.total"
+// counter, a "sparse.solve.iterations" histogram, and a
+// "sparse.solve.nonconverged_total" counter incremented whenever a solve
+// exhausts its iteration cap before meeting the stopping criterion. Metric
+// handles are resolved once at NewSolver, so the per-solve cost is three
+// atomic updates; a nil registry disables recording entirely.
+func WithMetrics(reg *obs.Registry) Option { return func(o *options) { o.metrics = reg } }
+
 // Result reports the outcome of a sparse solve.
 type Result struct {
+	// Solver names the algorithm that produced this result ("admm",
+	// "fista", "ista"), so telemetry consumers don't have to thread the
+	// configured Method alongside every result.
+	Solver string
 	// X holds the recovered coefficients, one column per snapshot
 	// (a single column for ordinary LASSO).
 	X [][]complex128

@@ -168,11 +168,14 @@ func (s *Solver) solveADMMWeighted(y *cmat.Matrix, kappa float64, weights []floa
 	}
 	r := cmat.Sub(cmat.Mul(s.a, z), y)
 	fit := r.FrobNorm()
-	return &Result{
+	res := &Result{
+		Solver:     s.opts.method.String(),
 		X:          matToColumns(z),
 		RowMags:    mags,
 		Iterations: iters,
 		Converged:  converged,
 		Objective:  0.5*fit*fit + kappa*l1,
-	}, nil
+	}
+	s.tele.record(res)
+	return res, nil
 }

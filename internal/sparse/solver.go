@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"roarray/internal/cmat"
+	"roarray/internal/obs"
 )
 
 // Solver solves (group-)LASSO problems against a fixed dictionary A. The
@@ -15,9 +16,42 @@ import (
 type Solver struct {
 	a    *cmat.Matrix
 	opts options
+	tele *solverTelemetry // nil when no metrics registry is configured
 
 	chol *cmat.Cholesky // ADMM: factor of (rho I + A Aᴴ), size m x m
 	lip  float64        // FISTA/ISTA: ||A||_2^2
+}
+
+// solverTelemetry caches the metric handles a solver records into, resolved
+// once at construction so the per-solve cost is a few atomic updates.
+type solverTelemetry struct {
+	solves       *obs.Counter
+	nonconverged *obs.Counter
+	iterations   *obs.Histogram
+}
+
+func newSolverTelemetry(reg *obs.Registry) *solverTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &solverTelemetry{
+		solves:       reg.Counter("sparse.solve.total"),
+		nonconverged: reg.Counter("sparse.solve.nonconverged_total"),
+		iterations:   reg.Histogram("sparse.solve.iterations", 5, 10, 25, 50, 100, 200, 400, 800),
+	}
+}
+
+// record notes one completed solve. Nil-safe: the disabled path is a single
+// pointer check.
+func (t *solverTelemetry) record(res *Result) {
+	if t == nil {
+		return
+	}
+	t.solves.Inc()
+	t.iterations.Observe(float64(res.Iterations))
+	if !res.Converged {
+		t.nonconverged.Inc()
+	}
 }
 
 // NewSolver prepares a solver for the m x n dictionary a.
@@ -29,7 +63,7 @@ func NewSolver(a *cmat.Matrix, opts ...Option) (*Solver, error) {
 	if o.maxIters <= 0 {
 		return nil, fmt.Errorf("sparse: max iterations must be positive, got %d", o.maxIters)
 	}
-	s := &Solver{a: a, opts: o}
+	s := &Solver{a: a, opts: o, tele: newSolverTelemetry(o.metrics)}
 	switch o.method {
 	case MethodADMM:
 		if o.rho < 0 {
@@ -194,13 +228,16 @@ func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64) (*Result, error) {
 	}
 
 	rowMagsInto(x, mags)
-	return &Result{
+	res := &Result{
+		Solver:     s.opts.method.String(),
 		X:          matToColumns(x),
 		RowMags:    mags,
 		Iterations: iters,
 		Converged:  converged,
 		Objective:  s.objective(x, y, kappa),
-	}, nil
+	}
+	s.tele.record(res)
+	return res, nil
 }
 
 func copyInto(dst, src *cmat.Matrix) {

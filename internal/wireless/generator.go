@@ -3,6 +3,8 @@ package wireless
 import (
 	"fmt"
 	"math/rand"
+
+	"roarray/internal/obs"
 )
 
 // Generator emits CSI packets for one link from its own private RNG. Giving
@@ -17,6 +19,9 @@ import (
 type Generator struct {
 	cfg ChannelConfig
 	rng *rand.Rand
+
+	packets *obs.Counter   // nil unless Instrument was called
+	snr     *obs.Histogram // nil unless Instrument was called
 }
 
 // NewGenerator validates cfg and returns a generator seeded with seed.
@@ -41,12 +46,73 @@ func (g *Generator) Config() ChannelConfig {
 	return c
 }
 
+// Generator metric names, shared with RecordGenerated so both paths land in
+// the same series.
+const (
+	metricPacketsTotal = "wireless.packets_total"
+	metricSNRdB        = "wireless.snr_db"
+)
+
+// snrBuckets spans the paper's SNR bands (low <= 2 dB, medium (2,15) dB,
+// high >= 15 dB) in 5 dB steps from -10 to 40.
+func snrBuckets() []float64 { return obs.LinearBuckets(-10, 5, 11) }
+
+// Instrument attaches a metrics registry: every generated packet increments
+// "wireless.packets_total" and records the link's configured SNR into the
+// "wireless.snr_db" histogram, giving the workload's SNR-band mix (the
+// paper's high/medium/low split) directly from /metrics. A nil registry is a
+// no-op; the handles are resolved once here so the generate path pays only
+// nil checks. Returns the generator for chaining.
+func (g *Generator) Instrument(reg *obs.Registry) *Generator {
+	if reg == nil {
+		return g
+	}
+	g.packets = reg.Counter(metricPacketsTotal)
+	g.snr = reg.Histogram(metricSNRdB, snrBuckets()...)
+	return g
+}
+
+// RecordGenerated notes n packets synthesized outside a Generator (e.g. via
+// the package-level Generate/GenerateBurst, where callers manage the RNG
+// stream themselves) in the same series an instrumented Generator uses. A
+// nil registry is a no-op.
+func RecordGenerated(reg *obs.Registry, snrDB float64, n int) {
+	if reg == nil || n <= 0 {
+		return
+	}
+	reg.Counter(metricPacketsTotal).Add(int64(n))
+	h := reg.Histogram(metricSNRdB, snrBuckets()...)
+	for i := 0; i < n; i++ {
+		h.Observe(snrDB)
+	}
+}
+
+// record notes n generated packets. The RNG stream is untouched, so an
+// instrumented generator emits byte-identical packets to a plain one.
+func (g *Generator) record(n int) {
+	if g.packets == nil {
+		return
+	}
+	g.packets.Add(int64(n))
+	for i := 0; i < n; i++ {
+		g.snr.Observe(g.cfg.SNRdB)
+	}
+}
+
 // Packet synthesizes the next CSI measurement in the stream.
 func (g *Generator) Packet() (*CSI, error) {
-	return Generate(&g.cfg, g.rng)
+	csi, err := Generate(&g.cfg, g.rng)
+	if err == nil {
+		g.record(1)
+	}
+	return csi, err
 }
 
 // Burst synthesizes the next n packets in the stream.
 func (g *Generator) Burst(n int) ([]*CSI, error) {
-	return GenerateBurst(&g.cfg, n, g.rng)
+	burst, err := GenerateBurst(&g.cfg, n, g.rng)
+	if err == nil {
+		g.record(len(burst))
+	}
+	return burst, err
 }

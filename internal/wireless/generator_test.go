@@ -3,6 +3,8 @@ package wireless
 import (
 	"math"
 	"testing"
+
+	"roarray/internal/obs"
 )
 
 func generatorTestConfig() *ChannelConfig {
@@ -108,6 +110,63 @@ func TestGeneratorConfigIsolation(t *testing.T) {
 	if !sameCSI(pa, pb) {
 		t.Fatal("config mutation leaked into the generator")
 	}
+}
+
+// TestGeneratorInstrument checks that an instrumented generator counts its
+// packets and records the SNR distribution — and that instrumentation leaves
+// the packet stream byte-identical to an uninstrumented same-seed generator.
+func TestGeneratorInstrument(t *testing.T) {
+	cfg := generatorTestConfig()
+	plain, err := NewGenerator(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	metered, err := NewGenerator(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metered.Instrument(nil) != metered {
+		t.Fatal("Instrument(nil) should return the generator unchanged")
+	}
+	metered.Instrument(reg)
+
+	bp, err := plain.Burst(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := metered.Burst(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := metered.Packet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pm
+	for i := range bp {
+		if !sameCSI(bp[i], bm[i]) {
+			t.Fatalf("packet %d differs between plain and instrumented generators", i)
+		}
+	}
+
+	if got := reg.Counter("wireless.packets_total").Value(); got != 5 {
+		t.Fatalf("wireless.packets_total = %d, want 5", got)
+	}
+	snr := reg.Histogram("wireless.snr_db").Snapshot()
+	if snr.Count != 5 {
+		t.Fatalf("wireless.snr_db count = %d, want 5", snr.Count)
+	}
+	if snr.Sum != 5*cfg.SNRdB {
+		t.Fatalf("wireless.snr_db sum = %v, want %v", snr.Sum, 5*cfg.SNRdB)
+	}
+
+	// RecordGenerated lands in the same series.
+	RecordGenerated(reg, 20, 3)
+	if got := reg.Counter("wireless.packets_total").Value(); got != 8 {
+		t.Fatalf("after RecordGenerated: packets_total = %d, want 8", got)
+	}
+	RecordGenerated(nil, 20, 3) // nil registry must be a no-op, not a panic
 }
 
 // TestGeneratorValidation covers construction errors and the explicit-RNG

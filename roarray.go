@@ -30,9 +30,12 @@
 package roarray
 
 import (
+	"context"
+	"io"
 	"math/rand"
 
 	"roarray/internal/core"
+	"roarray/internal/obs"
 	"roarray/internal/spectra"
 	"roarray/internal/testbed"
 	"roarray/internal/wireless"
@@ -124,6 +127,48 @@ const (
 	BandMedium = testbed.BandMedium
 	BandLow    = testbed.BandLow
 )
+
+// Observability types, re-exported from internal/obs. A Metrics registry
+// threads through Config.Metrics into the estimator, engine, and sparse
+// solvers; a Tracer attached to a context (WithTracer) makes the *Ctx
+// methods emit a JSONL span tree covering every pipeline stage. Both are
+// nil-safe: a nil registry or absent tracer costs a pointer check on the hot
+// path.
+type (
+	// Metrics is a concurrent registry of counters, gauges, and histograms.
+	Metrics = obs.Registry
+	// Tracer streams span events as JSON Lines.
+	Tracer = obs.Tracer
+	// Span is one in-flight traced operation.
+	Span = obs.Span
+	// SpanEvent is the decoded form of one emitted span.
+	SpanEvent = obs.SpanEvent
+	// DebugServer serves /metrics, /debug/vars, and /debug/pprof.
+	DebugServer = obs.DebugServer
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer returns a tracer writing JSONL span events to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// WithTracer attaches a tracer to ctx; pass the result to the *Ctx methods
+// (Engine.LocalizeBatchCtx, Estimator.EstimateDirectAoACtx, ...).
+func WithTracer(ctx context.Context, t *Tracer) context.Context { return obs.WithTracer(ctx, t) }
+
+// StartSpan opens a span named name as a child of the span in ctx (if any).
+// Without a tracer in ctx it returns (ctx, nil); a nil span's End is a no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// ReadSpanEvents decodes a JSONL trace stream written by a Tracer.
+func ReadSpanEvents(r io.Reader) ([]SpanEvent, error) { return obs.ReadEvents(r) }
+
+// ServeDebug starts an HTTP server on addr exposing reg at /metrics, expvar
+// at /debug/vars, and pprof at /debug/pprof.
+func ServeDebug(addr string, reg *Metrics) (*DebugServer, error) { return obs.Serve(addr, reg) }
 
 // ErrNoPeaks is returned when a spectrum has no usable peaks.
 var ErrNoPeaks = core.ErrNoPeaks
