@@ -7,11 +7,11 @@ GO ?= go
 # Packages that share state across goroutines — the estimator/solver caches
 # and the observability registry/tracer — the race gate hammers exactly these
 # so the full -race sweep stays affordable.
-RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/...
+RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/...
 
-.PHONY: check vet build test race bench profile experiments
+.PHONY: check vet build test race bench profile experiments quality-gate bless-quality
 
-check: vet build test race
+check: vet build test race quality-gate
 
 vet:
 	$(GO) vet ./...
@@ -41,3 +41,23 @@ profile:
 # quick settings — raise -locations for paper-scale runs).
 experiments:
 	$(GO) run ./cmd/roabench -fig all > experiments_output.txt
+
+# Flags the committed BENCH_quality.json baseline was recorded with. Small
+# multi-location sizes keep the gate under ~2 minutes on one CPU; theta/tau/
+# iters stay at defaults so the location-independent figures match default
+# runs bit for bit.
+QUALITY_FLAGS := -seed 5 -locations 2 -packets 4 -aps 4
+
+# Accuracy/perf regression gate: re-run every experiment at the baseline's
+# recorded settings and compare each gated metric against the tolerance
+# bands stored in BENCH_quality.json. Fails (non-zero) on any regression or
+# missing metric. quality_current.json is gitignored.
+quality-gate:
+	$(GO) run ./cmd/roabench -fig all $(QUALITY_FLAGS) -artifact quality_current.json > /dev/null
+	$(GO) run ./cmd/roabench -compare BENCH_quality.json -artifact quality_current.json
+
+# Re-record the committed baselines after an intentional accuracy or
+# performance change. Review the diff of BENCH_*.json before committing.
+bless-quality:
+	$(GO) run ./cmd/roabench -fig all $(QUALITY_FLAGS) -artifact BENCH_quality.json > /dev/null
+	$(GO) run ./cmd/roabench -batch 8 -seed 5 -packets 4 -aps 4 -json > BENCH_batch.json

@@ -10,10 +10,12 @@
 //	roabench -batch 32 -parallel 0 -json     # serial-vs-parallel batch bench
 //	roabench -batch 8 -trace out.jsonl       # JSONL span tree of the run
 //	roabench -batch 8 -metrics-addr :8080 -metrics-hold 30s
+//	roabench -fig all -artifact out.json     # + machine-readable telemetry
+//	roabench -compare BENCH_quality.json -artifact out.json  # regression gate
 //
 // Figure ids: 2, 3, 4, 6, 7, 8a, 8b, 8c, cx, plus the ablations og
-// (off-grid sensitivity) and ab (solver comparison); "all" runs the paper
-// figures.
+// (off-grid sensitivity), ab (solver comparison), and fs (fusion-size
+// sweep); "all" runs every experiment in that order.
 //
 // -batch N skips the figures and instead times Engine.LocalizeBatch over N
 // testbed requests serially and with -parallel workers (0 = GOMAXPROCS),
@@ -21,6 +23,13 @@
 // machine-readable line on stdout (ns/op, speedup, workers, and the metrics
 // registry snapshot) for BENCH_*.json trajectory tracking — progress goes to
 // stderr, so the output pipes cleanly into jq.
+//
+// -artifact FILE writes the run's structured evaluation telemetry (per-trial
+// records, aggregates with tolerance bands, per-stage wall-clock, solver
+// convergence) as a versioned JSON artifact. -compare BASELINE skips running
+// anything: it reads BASELINE and the -artifact file, checks every gated
+// aggregate against the baseline's tolerance band, prints a readable diff,
+// and exits non-zero on any regression or missing metric.
 //
 // -metrics-addr serves /metrics (JSON registry snapshot), /debug/vars
 // (expvar), and /debug/pprof for the duration of the run; -metrics-hold
@@ -38,6 +47,7 @@ import (
 
 	"roarray"
 	"roarray/internal/experiments"
+	"roarray/internal/quality"
 )
 
 func main() {
@@ -63,8 +73,17 @@ func run(stdout, stderr io.Writer, args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics server up this long after the workload finishes")
 	traceFile := fs.String("trace", "", "write a JSONL span trace of the run to this file")
+	artifact := fs.String("artifact", "", "write the run's evaluation telemetry to this JSON file (with -compare: the current artifact to check)")
+	compare := fs.String("compare", "", "compare the -artifact file against this baseline artifact and exit non-zero on regression (runs nothing)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare != "" {
+		if *artifact == "" {
+			return fmt.Errorf("-compare requires -artifact <current.json> to name the artifact under test")
+		}
+		return runCompare(stdout, *compare, *artifact)
 	}
 
 	workers := *parallel
@@ -81,6 +100,9 @@ func run(stdout, stderr io.Writer, args []string) error {
 		SolverIters: *iters,
 		Workers:     workers,
 		Metrics:     roarray.NewMetrics(),
+	}
+	if *artifact != "" {
+		opt.Recorder = quality.NewRecorder(opt.Metrics)
 	}
 
 	if *traceFile != "" {
@@ -114,12 +136,15 @@ func run(stdout, stderr io.Writer, args []string) error {
 
 	if *batch > 0 {
 		opt.Locations = *batch
-		return experiments.RunBatchBench(stdout, stderr, opt, *jsonOut)
+		if err := experiments.RunBatchBench(stdout, stderr, opt, *jsonOut); err != nil {
+			return err
+		}
+		return writeArtifact(stderr, *artifact, opt, *seed)
 	}
 
 	ids := []string{*fig}
 	if strings.EqualFold(*fig, "all") {
-		ids = []string{"2", "3", "4", "6", "7", "8a", "8b", "8c", "cx"}
+		ids = experiments.AllIDs()
 	}
 	for _, id := range ids {
 		runner, valid := experiments.Get(id)
@@ -129,6 +154,43 @@ func run(stdout, stderr io.Writer, args []string) error {
 		if err := runner(stdout, opt); err != nil {
 			return fmt.Errorf("figure %s: %w", id, err)
 		}
+	}
+	return writeArtifact(stderr, *artifact, opt, *seed)
+}
+
+// writeArtifact assembles and writes the recorded telemetry; a no-op when
+// -artifact was not given (opt.Recorder nil).
+func writeArtifact(stderr io.Writer, path string, opt experiments.Options, seed int64) error {
+	if path == "" || opt.Recorder == nil {
+		return nil
+	}
+	art := opt.Recorder.Artifact("roabench", seed, opt.ParamSummary())
+	if err := art.Validate(); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := art.WriteFile(path); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	fmt.Fprintf(stderr, "roabench: wrote evaluation artifact %s (%d experiments)\n", path, len(art.Experiments))
+	return nil
+}
+
+// runCompare implements the regression gate: read both artifacts, check the
+// current one against the baseline's tolerance bands, print the report, and
+// return an error (non-zero exit) on any regression or missing metric.
+func runCompare(stdout io.Writer, basePath, curPath string) error {
+	base, err := quality.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := quality.ReadFile(curPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	rep := quality.Compare(base, cur)
+	rep.Format(stdout, false)
+	if !rep.OK() {
+		return fmt.Errorf("quality gate failed against %s", basePath)
 	}
 	return nil
 }

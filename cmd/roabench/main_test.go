@@ -11,6 +11,7 @@ import (
 
 	"roarray"
 	"roarray/internal/experiments"
+	"roarray/internal/quality"
 )
 
 func TestRunUnknownFigure(t *testing.T) {
@@ -36,6 +37,78 @@ func TestRunSingleFigure(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCompareRequiresArtifact(t *testing.T) {
+	if err := run(io.Discard, io.Discard, []string{"-compare", "base.json"}); err == nil {
+		t.Fatal("-compare without -artifact should error")
+	}
+}
+
+// TestRunArtifactAndCompare drives the telemetry pipeline end to end: run a
+// figure with -artifact, validate the artifact, gate it against itself
+// (must pass), then against a perturbed baseline (must fail with a report).
+func TestRunArtifactAndCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full figure")
+	}
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "out.json")
+	err := run(io.Discard, io.Discard, []string{
+		"-fig", "3",
+		"-locations", "1", "-packets", "2",
+		"-theta", "31", "-tau", "12", "-iters", "40",
+		"-artifact", cur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := quality.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Experiments) != 1 || art.Experiments[0].ID != "3" {
+		t.Fatalf("artifact should hold experiment 3, got %+v", art.Experiments)
+	}
+	if len(art.Experiments[0].Trials) == 0 || len(art.Experiments[0].Aggregates) == 0 {
+		t.Fatal("artifact missing trials or aggregates")
+	}
+
+	var buf bytes.Buffer
+	if err := run(&buf, io.Discard, []string{"-compare", cur, "-artifact", cur}); err != nil {
+		t.Fatalf("self-compare should pass: %v\n%s", err, buf.String())
+	}
+
+	// Shift every gated baseline median far outside its band: the gate must
+	// reject the unchanged current artifact and name the drift.
+	base, err := quality.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := 0
+	for i := range base.Experiments {
+		for j := range base.Experiments[i].Aggregates {
+			a := &base.Experiments[i].Aggregates[j]
+			if a.Tol.Gated() {
+				a.Median = a.Median*1e3 + 1e6
+				perturbed++
+			}
+		}
+	}
+	if perturbed == 0 {
+		t.Fatal("no gated aggregates to perturb")
+	}
+	basePath := filepath.Join(dir, "base.json")
+	if err := base.WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, io.Discard, []string{"-compare", basePath, "-artifact", cur}); err == nil {
+		t.Fatalf("perturbed baseline should fail the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("gate report should mark failures:\n%s", buf.String())
 	}
 }
 

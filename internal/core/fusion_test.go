@@ -3,9 +3,9 @@ package core
 import (
 	"math"
 	"math/rand"
-	"sort"
 	"testing"
 
+	"roarray/internal/stats"
 	"roarray/internal/wireless"
 )
 
@@ -55,8 +55,11 @@ func TestEstimateRelativeDelayLowSNR(t *testing.T) {
 		}
 		errsNs = append(errsNs, e)
 	}
-	sort.Float64s(errsNs)
-	if med := errsNs[len(errsNs)/2]; med > 10 {
+	cdf, err := stats.NewCDF(errsNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := cdf.Median(); med > 10 {
 		t.Fatalf("median delay error %.1f ns at -3 dB, want <= 10 ns", med)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"roarray/internal/core"
+	"roarray/internal/quality"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/stats"
@@ -22,6 +23,11 @@ import (
 func RunAblationOffGrid(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, "Ablation: off-grid (basis mismatch) sensitivity of the sparse AoA estimate")
+	exp := opt.Recorder.Begin("og", "off-grid (basis mismatch) sensitivity")
+	defer exp.End()
+	exp.Params(map[string]int64{"seed": opt.Seed, "iters": int64(opt.SolverIters)})
+	ctx := opt.runCtx(exp)
+	probe := quality.NewSolverProbe(opt.Metrics)
 	rng := rand.New(rand.NewSource(opt.Seed))
 	arr := wireless.Intel5300Array()
 	ofdm := wireless.Intel5300OFDM()
@@ -34,13 +40,15 @@ func RunAblationOffGrid(w io.Writer, opt Options) error {
 			Array: arr, OFDM: ofdm,
 			ThetaGrid:     grid,
 			SolverOptions: []sparse.Option{sparse.WithMaxIters(opt.SolverIters)},
+			Metrics:       opt.Metrics,
 		})
 		if err != nil {
 			return err
 		}
-		measure := func(offset float64) (float64, error) {
+		measure := func(key string, offset float64) (float64, error) {
 			var errs []float64
 			const trials = 10
+			probe.Take() // re-arm so each trial's delta covers one solve
 			for i := 0; i < trials; i++ {
 				// Pick a grid angle away from endfire and shift by the
 				// requested fraction of the spacing.
@@ -54,23 +62,33 @@ func RunAblationOffGrid(w io.Writer, opt Options) error {
 				if err != nil {
 					return 0, err
 				}
-				spec, err := est.EstimateAoA(csi)
+				spec, err := est.EstimateAoACtx(ctx, csi)
 				if err != nil {
 					return 0, err
 				}
-				errs = append(errs, spectra.ClosestPeakError(spec.Peaks(0.5), trueAoA))
+				aoaErr := spectra.ClosestPeakError(spec.Peaks(0.5), trueAoA)
+				errs = append(errs, aoaErr)
+				exp.Record(quality.Trial{
+					System:   SysROArray,
+					Label:    key,
+					Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: 15, Paths: 1, Packets: 1},
+					Truth:    quality.AoA(trueAoA),
+					Errors:   map[string]float64{"aoa_deg": aoaErr},
+					Solver:   probe.Take().Info(sparse.MethodADMM.String()),
+				})
 			}
+			exp.Aggregate("aoa_err."+key, "deg", errs)
 			sum, err := stats.Summarize("", errs)
 			if err != nil {
 				return 0, err
 			}
 			return sum.Median, nil
 		}
-		onGrid, err := measure(0)
+		onGrid, err := measure(fmt.Sprintf("grid%d.ongrid", n), 0)
 		if err != nil {
 			return err
 		}
-		offGrid, err := measure(0.5) // worst-case mismatch
+		offGrid, err := measure(fmt.Sprintf("grid%d.offgrid", n), 0.5) // worst-case mismatch
 		if err != nil {
 			return err
 		}
@@ -92,6 +110,11 @@ func RunAblationOffGrid(w io.Writer, opt Options) error {
 func RunAblationSolvers(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, "Ablation: sparse solver backends on identical joint AoA/ToA instances")
+	exp := opt.Recorder.Begin("ab", "sparse solver backends on identical instances")
+	defer exp.End()
+	exp.Params(opt.gridParams())
+	ctx := opt.runCtx(exp)
+	probe := quality.NewSolverProbe(opt.Metrics)
 	arr := wireless.Intel5300Array()
 	ofdm := wireless.Intel5300OFDM()
 	thetaGrid := spectra.UniformGrid(0, 180, opt.ThetaPoints)
@@ -126,28 +149,39 @@ func RunAblationSolvers(w io.Writer, opt Options) error {
 				sparse.WithMethod(method),
 				sparse.WithMaxIters(opt.SolverIters),
 			},
+			Metrics: opt.Metrics,
 		})
 		if err != nil {
 			return err
 		}
-		if _, err := est.EstimateJoint(packets[0]); err != nil { // warm caches
+		if _, err := est.EstimateJointCtx(ctx, packets[0]); err != nil { // warm caches
 			return err
 		}
+		probe.Take() // drop the warm-up solve from the first trial's delta
 		var errs []float64
 		t0 := time.Now()
 		for _, pkt := range packets {
-			spec, err := est.EstimateJoint(pkt)
+			spec, err := est.EstimateJointCtx(ctx, pkt)
 			if err != nil {
 				return err
 			}
-			dp, err := est.DirectPath(spec)
-			if err != nil {
-				errs = append(errs, 90)
-				continue
+			aoaErr := 90.0
+			if dp, err := est.DirectPath(spec); err == nil {
+				aoaErr = math.Abs(dp.ThetaDeg - trueAoA)
 			}
-			errs = append(errs, math.Abs(dp.ThetaDeg-trueAoA))
+			errs = append(errs, aoaErr)
+			exp.Record(quality.Trial{
+				System:   SysROArray,
+				Label:    method.String(),
+				Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: 5, Paths: 2, Packets: 1},
+				Truth:    quality.AoA(trueAoA),
+				Errors:   map[string]float64{"aoa_deg": aoaErr},
+				Solver:   probe.Take().Info(method.String()),
+			})
 		}
 		perSolve := time.Since(t0) / trials
+		exp.Aggregate("aoa_err."+method.String(), "deg", errs)
+		exp.Value("solve_s."+method.String(), "s", perSolve.Seconds())
 		sum, err := stats.Summarize(method.String(), errs)
 		if err != nil {
 			return err
@@ -173,8 +207,19 @@ func RunAblationSolvers(w io.Writer, opt Options) error {
 			}
 		}
 		errs = append(errs, best)
+		exp.Record(quality.Trial{
+			System:   SysROArray,
+			Label:    "omp",
+			Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: 5, Paths: 2, Packets: 1},
+			Truth:    quality.AoA(trueAoA),
+			Errors:   map[string]float64{"aoa_deg": best},
+			// OMP runs one greedy pass per support atom and always terminates.
+			Solver: &quality.SolverInfo{Name: "omp", Iterations: len(res.Support), Converged: true},
+		})
 	}
 	perSolve := time.Since(t0) / trials
+	exp.Aggregate("aoa_err.omp", "deg", errs)
+	exp.Value("solve_s.omp", "s", perSolve.Seconds())
 	sum, err := stats.Summarize("omp", errs)
 	if err != nil {
 		return err

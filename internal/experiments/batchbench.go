@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,7 +9,7 @@ import (
 	"time"
 
 	"roarray/internal/core"
-	"roarray/internal/obs"
+	"roarray/internal/quality"
 	"roarray/internal/stats"
 	"roarray/internal/testbed"
 )
@@ -52,6 +51,11 @@ func RunBatchBench(out, msg io.Writer, opt Options, jsonOut bool) error {
 	if workers <= 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Workers stays out of Params on purpose: positions are bit-identical for
+	// any worker count, and the latency metrics carry a wide relative band.
+	exp := opt.Recorder.Begin("batch", "serial vs parallel batch localization")
+	defer exp.End()
+	exp.Params(opt.evalParams())
 
 	dep := testbed.Default()
 	reqs, truth, err := dep.BatchRequests(opt.Locations, opt.Packets, testbed.ScenarioConfig{Band: testbed.BandHigh}, opt.Seed)
@@ -76,10 +80,7 @@ func RunBatchBench(out, msg io.Writer, opt Options, jsonOut bool) error {
 		return err
 	}
 
-	ctx := context.Background()
-	if opt.Tracer != nil {
-		ctx = obs.WithTracer(ctx, opt.Tracer)
-	}
+	ctx := opt.runCtx(exp)
 
 	// Warm the dictionary/factorization caches outside the timed region so
 	// both runs measure steady-state serving cost.
@@ -116,11 +117,28 @@ func RunBatchBench(out, msg io.Writer, opt Options, jsonOut bool) error {
 			identical = false
 		}
 		locErrs[i] = parallelRes[i].Position.Dist(truth[i])
+		exp.Record(quality.Trial{
+			System:   SysROArray,
+			Label:    "batch",
+			Scenario: quality.Scenario{Seed: opt.Seed, Band: "high", APs: opt.APs, Packets: opt.Packets},
+			Truth:    quality.Pos(truth[i].X, truth[i].Y),
+			Estimate: quality.Pos(parallelRes[i].Position.X, parallelRes[i].Position.Y),
+			Errors:   map[string]float64{"loc_m": locErrs[i]},
+		})
 	}
 	cdf, err := stats.NewCDF(locErrs)
 	if err != nil {
 		return err
 	}
+	exp.Aggregate("loc_err", "m", locErrs)
+	exp.Value("serial_s_per_op", "s", serialT.Seconds()/float64(len(reqs)))
+	exp.Value("parallel_s_per_op", "s", parallelT.Seconds()/float64(len(reqs)))
+	ident := 0.0
+	if identical {
+		ident = 1.0
+	}
+	exp.Value("identical", "ratio", ident)
+	exp.Value("speedup", "", float64(serialT)/math.Max(float64(parallelT), 1))
 	res := BatchBenchResult{
 		Benchmark:       "LocalizeBatch",
 		Requests:        len(reqs),

@@ -8,6 +8,7 @@ import (
 
 	"roarray/internal/core"
 	"roarray/internal/music"
+	"roarray/internal/quality"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/wireless"
@@ -22,6 +23,10 @@ import (
 func RunComplexity(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, "Sec. III-C: computation cost of the joint ToA&AoA spectrum")
+	exp := opt.Recorder.Begin("cx", "computation cost of the joint spectrum")
+	defer exp.End()
+	exp.Params(map[string]int64{"seed": opt.Seed, "iters": int64(opt.SolverIters)})
+	ctx := opt.runCtx(exp)
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	arr := wireless.Intel5300Array()
@@ -49,22 +54,32 @@ func RunComplexity(w io.Writer, opt Options) error {
 			Array: arr, OFDM: ofdm,
 			ThetaGrid: thetaGrid, TauGrid: tauGrid,
 			SolverOptions: []sparse.Option{sparse.WithMaxIters(opt.SolverIters)},
+			Metrics:       opt.Metrics,
 		})
 		if err != nil {
 			return err
 		}
 		// Building the solver (dictionary + factorization) happens lazily on
 		// the first call; time it separately via a warm-up solve.
-		if _, err := est.EstimateJoint(csi); err != nil {
+		if _, err := est.EstimateJointCtx(ctx, csi); err != nil {
 			return err
 		}
 		build := time.Since(t0)
 
 		t1 := time.Now()
-		if _, err := est.EstimateJoint(csi); err != nil {
+		if _, err := est.EstimateJointCtx(ctx, csi); err != nil {
 			return err
 		}
 		solve := time.Since(t1)
+		gkey := fmt.Sprintf("g%dx%d", g.nth, g.ntu)
+		exp.Value("dict_build_s."+gkey, "s", (build - solve).Seconds())
+		exp.Value("solve_s."+gkey, "s", solve.Seconds())
+		exp.Record(quality.Trial{
+			System:   SysROArray,
+			Label:    gkey,
+			Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: 10, Paths: 2, Packets: 1},
+			Errors:   map[string]float64{"solve_s": solve.Seconds()},
+		})
 		fmt.Fprintf(w, "%-22s %-12d %-14v %-12v\n",
 			fmt.Sprintf("%d x %d", g.nth, g.ntu), g.nth*g.ntu, (build - solve).Round(time.Millisecond), solve.Round(time.Millisecond))
 	}
@@ -74,7 +89,9 @@ func RunComplexity(w io.Writer, opt Options) error {
 	if _, err := music.JointSpectrum(&music.SpotFiConfig{Array: arr, OFDM: ofdm}, csi); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\nSpotFi smoothed MUSIC spectrum (91 x 51 grid): %v\n", time.Since(t0).Round(time.Millisecond))
+	spotfi := time.Since(t0)
+	exp.Value("spotfi_solve_s", "s", spotfi.Seconds())
+	fmt.Fprintf(w, "\nSpotFi smoothed MUSIC spectrum (91 x 51 grid): %v\n", spotfi.Round(time.Millisecond))
 	fmt.Fprintf(w, "Paper: ROArray trades computation for low-SNR robustness; cost is dominated\n")
 	fmt.Fprintf(w, "by the dictionary size, nearly independent of M and Nsub.\n")
 	return nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -103,11 +104,11 @@ func TestEstimateLinkFallbacks(t *testing.T) {
 	// Unknown system and empty packets both degrade to the broadside
 	// fallback rather than crashing.
 	link := &testbed.Link{TrueAoADeg: 100}
-	got := eng.estimateLink("bogus", link, nil)
+	got := eng.estimateLink(context.Background(), "bogus", link, nil)
 	if got.DirectAoADeg != 90 || got.ClosestPeakErr != 180 {
 		t.Fatalf("unknown system fallback wrong: %+v", got)
 	}
-	got = eng.estimateLink(SysSpotFi, link, nil)
+	got = eng.estimateLink(context.Background(), SysSpotFi, link, nil)
 	if got.DirectAoADeg != 90 {
 		t.Fatalf("empty-burst fallback wrong: %+v", got)
 	}
@@ -120,7 +121,7 @@ func TestEvaluateBandShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
-	ev, err := eng.evaluateBand(testbed.BandHigh, []string{SysROArray}, rng)
+	ev, err := eng.evaluateBand(context.Background(), testbed.BandHigh, []string{SysROArray}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"roarray/internal/music"
+	"roarray/internal/quality"
 	"roarray/internal/spectra"
 	"roarray/internal/stats"
 	"roarray/internal/testbed"
@@ -21,17 +22,21 @@ func RunFig2(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	header(w, "Fig. 2: MUSIC (SpotFi) AoA spectrum vs SNR, true direct path at 150 deg")
+	exp := opt.Recorder.Begin("2", "MUSIC (SpotFi) AoA spectrum vs SNR")
+	defer exp.End()
+	exp.Params(opt.seedParams())
 
 	dep := testbed.Default()
 	const trueAoA = 150.0
 	snrs := []struct {
 		label string
+		key   string
 		db    float64
 	}{
-		{"(a) High SNR (18 dB)", 18},
-		{"(b) Medium SNR (7 dB)", 7},
-		{"(c) Low SNR (2 dB)", 2},
-		{"(d) Low SNR (<0 dB)", -3},
+		{"(a) High SNR (18 dB)", "18dB", 18},
+		{"(b) Medium SNR (7 dB)", "7dB", 7},
+		{"(c) Low SNR (2 dB)", "2dB", 2},
+		{"(d) Low SNR (<0 dB)", "-3dB", -3},
 	}
 
 	spotCfg := &music.SpotFiConfig{
@@ -64,15 +69,25 @@ func RunFig2(w io.Writer, opt Options) error {
 			}
 			spec.Normalize()
 			marg := spec.Marginal1D()
-			errs = append(errs, spectra.ClosestPeakError(topPeaks(marg.Peaks(1e-4), 5), trueAoA))
+			aoaErr := spectra.ClosestPeakError(topPeaks(marg.Peaks(1e-4), 5), trueAoA)
+			errs = append(errs, aoaErr)
 			meanSharp += marg.Sharpness()
 			sample = marg
+			exp.Record(quality.Trial{
+				System:   SysSpotFi,
+				Label:    s.key,
+				Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: s.db, Paths: 4, Packets: 1},
+				Truth:    quality.AoA(trueAoA),
+				Errors:   map[string]float64{"aoa_deg": aoaErr},
+			})
 		}
 		meanSharp /= trials
 		med, err := stats.Summarize(s.label, errs)
 		if err != nil {
 			return err
 		}
+		exp.Aggregate("aoa_err."+s.key, "deg", errs)
+		exp.Value("sharpness."+s.key, "", meanSharp)
 		fmt.Fprintf(w, "\n%s: median closest-peak AoA error %.1f deg, spectrum sharpness %.1f\n",
 			s.label, med.Median, meanSharp)
 		fmt.Fprint(w, logScale(sample).ASCII(18, 40))

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"roarray/internal/core"
+	"roarray/internal/quality"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/wireless"
@@ -20,6 +21,9 @@ func RunFig3(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	header(w, "Fig. 3: ROArray AoA spectrum vs solver iterations")
+	exp := opt.Recorder.Begin("3", "ROArray AoA spectrum vs solver iterations")
+	defer exp.End()
+	exp.Params(opt.seedParams())
 
 	const trueAoA = 120.0
 	arr := wireless.Intel5300Array()
@@ -52,12 +56,13 @@ func RunFig3(w io.Writer, opt Options) error {
 				}
 			}),
 		},
+		Metrics: opt.Metrics,
 	}
 	est, err := core.NewEstimator(cfg)
 	if err != nil {
 		return err
 	}
-	if _, err := est.EstimateAoA(csi); err != nil {
+	if _, err := est.EstimateAoACtx(opt.runCtx(exp), csi); err != nil {
 		return err
 	}
 
@@ -74,8 +79,22 @@ func RunFig3(w io.Writer, opt Options) error {
 		}
 		spec.Normalize()
 		peaks := topPeaks(spec.Peaks(0.3), 3)
+		aoaErr := spectra.ClosestPeakError(peaks, trueAoA)
+		label := fmt.Sprintf("iter%d", it)
+		exp.Record(quality.Trial{
+			System:   SysROArray,
+			Label:    label,
+			Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: 12, Paths: 2, Packets: 1},
+			Truth:    quality.AoA(trueAoA),
+			Errors:   map[string]float64{"aoa_deg": aoaErr, "sharpness": spec.Sharpness()},
+			// Snapshot of a fixed-budget solve (tolerance disabled), so no
+			// convergence claim is made.
+			Solver: &quality.SolverInfo{Name: sparse.MethodFISTA.String(), Iterations: it},
+		})
+		exp.Value("aoa_err."+label, "deg", aoaErr)
+		exp.Value("sharpness."+label, "", spec.Sharpness())
 		fmt.Fprintf(w, "\n-- %d iterations: sharpness %.1f, closest-peak error %.1f deg, peaks:",
-			it, spec.Sharpness(), spectra.ClosestPeakError(peaks, trueAoA))
+			it, spec.Sharpness(), aoaErr)
 		for _, p := range peaks {
 			fmt.Fprintf(w, " %.0f deg (%.2f)", p.ThetaDeg, p.Power)
 		}

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"roarray/internal/core"
+	"roarray/internal/quality"
 	"roarray/internal/spectra"
 	"roarray/internal/wireless"
 )
@@ -19,6 +21,10 @@ func RunFig4(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	header(w, "Fig. 4: joint ToA&AoA spectrum — single packets vs 30-packet fusion")
+	exp := opt.Recorder.Begin("4", "joint ToA&AoA spectrum: single packets vs fusion")
+	defer exp.End()
+	exp.Params(opt.gridParams())
+	ctx := opt.runCtx(exp)
 
 	est, err := core.NewEstimator(opt.estimatorConfig())
 	if err != nil {
@@ -41,12 +47,25 @@ func RunFig4(w io.Writer, opt Options) error {
 		return err
 	}
 
-	report := func(label string, spec *spectra.Spectrum2D, delay float64) error {
+	report := func(label, key string, packets int, spec *spectra.Spectrum2D, delay float64) error {
 		peaks := topPeaks(spec.Peaks(0.3), 4)
 		dp, err := est.DirectPath(spec)
 		if err != nil {
 			return err
 		}
+		exp.Record(quality.Trial{
+			System:   SysROArray,
+			Label:    key,
+			Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: 8, Paths: 2, Packets: packets},
+			Truth:    quality.AoAToA(truth[0].AoADeg, truth[0].ToA*1e9),
+			Estimate: quality.AoAToA(dp.ThetaDeg, dp.Tau*1e9),
+			Errors: map[string]float64{
+				"aoa_deg":   math.Abs(dp.ThetaDeg - truth[0].AoADeg),
+				"sharpness": spec.Sharpness(),
+			},
+		})
+		exp.Value("aoa_err."+key, "deg", math.Abs(dp.ThetaDeg-truth[0].AoADeg))
+		exp.Value("sharpness."+key, "", spec.Sharpness())
 		fmt.Fprintf(w, "\n%s (detection delay %.0f ns): sharpness %.1f\n", label, delay*1e9, spec.Sharpness())
 		for _, p := range peaks {
 			fmt.Fprintf(w, "  peak: AoA %5.1f deg  ToA %5.0f ns  power %.2f\n", p.ThetaDeg, p.Tau*1e9, p.Power)
@@ -56,27 +75,27 @@ func RunFig4(w io.Writer, opt Options) error {
 		return nil
 	}
 
-	specA, err := est.EstimateJoint(pkts[0])
+	specA, err := est.EstimateJointCtx(ctx, pkts[0])
 	if err != nil {
 		return err
 	}
-	if err := report("(a) packet A", specA, pkts[0].DetectionDelay); err != nil {
+	if err := report("(a) packet A", "packetA", 1, specA, pkts[0].DetectionDelay); err != nil {
 		return err
 	}
-	specB, err := est.EstimateJoint(pkts[1])
+	specB, err := est.EstimateJointCtx(ctx, pkts[1])
 	if err != nil {
 		return err
 	}
-	if err := report("(b) packet B", specB, pkts[1].DetectionDelay); err != nil {
+	if err := report("(b) packet B", "packetB", 1, specB, pkts[1].DetectionDelay); err != nil {
 		return err
 	}
 	// Fusion requires a common delay reference; EstimateJointFused performs
 	// the paper's delay-estimation step internally (core.AlignToReference).
-	specC, err := est.EstimateJointFused(pkts)
+	specC, err := est.EstimateJointFusedCtx(ctx, pkts)
 	if err != nil {
 		return err
 	}
-	if err := report("(c) 30 packets fused", specC, pkts[0].DetectionDelay); err != nil {
+	if err := report("(c) 30 packets fused", "fused30", 30, specC, pkts[0].DetectionDelay); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\nPaper: (c) is sharper/more accurate than (a),(b). Measured sharpness: %.1f vs %.1f / %.1f\n",

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"roarray/internal/quality"
 	"roarray/internal/stats"
 	"roarray/internal/testbed"
 )
@@ -24,22 +25,65 @@ var paperFig7 = map[testbed.SNRBand]map[string]float64{
 }
 
 // runComparative executes the shared Fig. 6/7 evaluation across all bands.
-func runComparative(opt Options) (map[testbed.SNRBand]*BandEval, error) {
+func runComparative(opt Options, exp *quality.Exp) (map[testbed.SNRBand]*BandEval, error) {
 	eng, err := newEvalEngine(opt)
 	if err != nil {
 		return nil, err
 	}
+	ctx := opt.runCtx(exp)
 	systems := []string{SysROArray, SysSpotFi, SysArrayTrack}
 	out := make(map[testbed.SNRBand]*BandEval, 3)
 	for _, band := range []testbed.SNRBand{testbed.BandHigh, testbed.BandMedium, testbed.BandLow} {
 		rng := rand.New(rand.NewSource(opt.Seed + int64(band)))
-		ev, err := eng.evaluateBand(band, systems, rng)
+		ev, err := eng.evaluateBand(ctx, band, systems, rng)
 		if err != nil {
 			return nil, err
 		}
 		out[band] = ev
 	}
 	return out, nil
+}
+
+// recordBands folds the comparative evaluation into per-trial records and
+// gated per-band aggregates. localization selects the Fig. 6 metric.
+func recordBands(exp *quality.Exp, opt Options, evals map[testbed.SNRBand]*BandEval, localization bool) {
+	systems := []string{SysROArray, SysSpotFi, SysArrayTrack}
+	for _, band := range []testbed.SNRBand{testbed.BandHigh, testbed.BandMedium, testbed.BandLow} {
+		ev := evals[band]
+		key := bandKey(band)
+		scenario := quality.Scenario{
+			Seed: opt.Seed, Band: key, APs: opt.APs, Packets: opt.Packets,
+		}
+		for _, sys := range systems {
+			if localization {
+				for i, e := range ev.LocErr[sys] {
+					exp.Record(quality.Trial{
+						System:   sys,
+						Label:    key,
+						Scenario: scenario,
+						Truth:    quality.Pos(ev.Clients[i].X, ev.Clients[i].Y),
+						Estimate: quality.Pos(ev.PosEst[sys][i].X, ev.PosEst[sys][i].Y),
+						Errors:   map[string]float64{"loc_m": e},
+					})
+				}
+				exp.Aggregate("loc_err."+key+"."+sys, "m", ev.LocErr[sys])
+				continue
+			}
+			for i, e := range ev.AoAErr[sys] {
+				// Estimate is the system's direct-path pick; the error metric
+				// stays the figure's closest-peak distance to ground truth.
+				exp.Record(quality.Trial{
+					System:   sys,
+					Label:    key,
+					Scenario: scenario,
+					Truth:    quality.AoA(ev.AoATrue[i]),
+					Estimate: quality.AoA(ev.AoAEst[sys][i]),
+					Errors:   map[string]float64{"aoa_deg": e},
+				})
+			}
+			exp.Aggregate("aoa_err."+key+"."+sys, "deg", ev.AoAErr[sys])
+		}
+	}
 }
 
 // RunFig6 reproduces paper Fig. 6: localization-error CDFs for ROArray,
@@ -51,10 +95,14 @@ func RunFig6(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, fmt.Sprintf("Fig. 6: localization error CDFs (%d locations, %d APs, %d packets)",
 		opt.Locations, opt.APs, opt.Packets))
-	evals, err := runComparative(opt)
+	exp := opt.Recorder.Begin("6", "localization error CDFs by SNR band")
+	defer exp.End()
+	exp.Params(opt.evalParams())
+	evals, err := runComparative(opt, exp)
 	if err != nil {
 		return err
 	}
+	recordBands(exp, opt, evals, true)
 	return reportBands(w, evals, true)
 }
 
@@ -65,10 +113,14 @@ func RunFig7(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, fmt.Sprintf("Fig. 7: AoA estimation error CDFs (%d locations, %d APs, %d packets)",
 		opt.Locations, opt.APs, opt.Packets))
-	evals, err := runComparative(opt)
+	exp := opt.Recorder.Begin("7", "AoA estimation error CDFs by SNR band")
+	defer exp.End()
+	exp.Params(opt.evalParams())
+	evals, err := runComparative(opt, exp)
 	if err != nil {
 		return err
 	}
+	recordBands(exp, opt, evals, false)
 	return reportBands(w, evals, false)
 }
 

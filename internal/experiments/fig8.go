@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"roarray/internal/core"
+	"roarray/internal/quality"
 	"roarray/internal/stats"
 	"roarray/internal/testbed"
 	"roarray/internal/wireless"
@@ -21,6 +22,10 @@ func RunFig8a(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, fmt.Sprintf("Fig. 8a: ROArray localization vs number of APs (%d locations)", opt.Locations))
 	paper := map[int]float64{3: 2.79, 4: 1.56, 5: 1.04}
+	exp := opt.Recorder.Begin("8a", "localization vs number of APs")
+	defer exp.End()
+	exp.Params(opt.evalParams())
+	ctx := opt.runCtx(exp)
 
 	eng, err := newEvalEngine(opt)
 	if err != nil {
@@ -47,7 +52,7 @@ func RunFig8a(w io.Writer, opt Options) error {
 			if err != nil {
 				return err
 			}
-			est := eng.estimateLink(SysROArray, &links[i], burst)
+			est := eng.estimateLink(ctx, SysROArray, &links[i], burst)
 			obs[i] = links[i].Observation(est.DirectAoADeg)
 		}
 		for _, numAPs := range counts {
@@ -56,9 +61,18 @@ func RunFig8a(w io.Writer, opt Options) error {
 				return err
 			}
 			errsByCount[numAPs] = append(errsByCount[numAPs], pos.Dist(client))
+			exp.Record(quality.Trial{
+				System:   SysROArray,
+				Label:    fmt.Sprintf("aps%d", numAPs),
+				Scenario: quality.Scenario{Seed: opt.Seed, Band: "medium", APs: numAPs, Packets: opt.Packets},
+				Truth:    quality.Pos(client.X, client.Y),
+				Estimate: quality.Pos(pos.X, pos.Y),
+				Errors:   map[string]float64{"loc_m": pos.Dist(client)},
+			})
 		}
 	}
 	for _, numAPs := range counts {
+		exp.Aggregate(fmt.Sprintf("loc_err.aps%d", numAPs), "m", errsByCount[numAPs])
 		sum, err := stats.Summarize(fmt.Sprintf("ROArray, %d APs", numAPs), errsByCount[numAPs])
 		if err != nil {
 			return err
@@ -89,6 +103,10 @@ func nearestLinks(links []testbed.Link, client core.Point, n int) []testbed.Link
 func RunFig8b(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, fmt.Sprintf("Fig. 8b: impact of phase calibration scheme (%d locations)", opt.Locations))
+	exp := opt.Recorder.Begin("8b", "impact of phase calibration scheme")
+	defer exp.End()
+	exp.Params(opt.evalParams())
+	ctx := opt.runCtx(exp)
 	rng := rand.New(rand.NewSource(opt.Seed + 80))
 
 	eng, err := newEvalEngine(opt)
@@ -139,12 +157,13 @@ func RunFig8b(w io.Writer, opt Options) error {
 
 	schemes := []struct {
 		name    string
+		key     string
 		correct [][]float64 // nil means no correction
 		paper   string
 	}{
-		{"Calibration using ROArray", calibROA, "[paper median ~1.3 m: 0.71 m better than MUSIC]"},
-		{"Calibration using MUSIC", calibMUSIC, "[paper: ROArray scheme is 0.71 m better]"},
-		{"W/o calibration", nil, "[paper median 2.0 m]"},
+		{"Calibration using ROArray", "calib_roarray", calibROA, "[paper median ~1.3 m: 0.71 m better than MUSIC]"},
+		{"Calibration using MUSIC", "calib_music", calibMUSIC, "[paper: ROArray scheme is 0.71 m better]"},
+		{"W/o calibration", "no_calib", nil, "[paper median 2.0 m]"},
 	}
 
 	results := make(map[string][]float64, len(schemes))
@@ -183,7 +202,7 @@ func RunFig8b(w io.Writer, opt Options) error {
 					}
 					burst = corrected
 				}
-				est := eng.estimateLink(SysROArray, &links[i], burst)
+				est := eng.estimateLink(ctx, SysROArray, &links[i], burst)
 				obs[i] = links[i].Observation(est.DirectAoADeg)
 			}
 			pos, err := core.Localize(obs, dep.Room, 0.1)
@@ -191,10 +210,19 @@ func RunFig8b(w io.Writer, opt Options) error {
 				return err
 			}
 			results[scheme.name] = append(results[scheme.name], pos.Dist(client))
+			exp.Record(quality.Trial{
+				System:   SysROArray,
+				Label:    scheme.key,
+				Scenario: quality.Scenario{Seed: opt.Seed, Band: "medium", APs: opt.APs, Packets: opt.Packets},
+				Truth:    quality.Pos(client.X, client.Y),
+				Estimate: quality.Pos(pos.X, pos.Y),
+				Errors:   map[string]float64{"loc_m": pos.Dist(client)},
+			})
 		}
 	}
 
 	for _, scheme := range schemes {
+		exp.Aggregate("loc_err."+scheme.key, "m", results[scheme.name])
 		sum, err := stats.Summarize(scheme.name, results[scheme.name])
 		if err != nil {
 			return err
@@ -211,6 +239,10 @@ func RunFig8b(w io.Writer, opt Options) error {
 func RunFig8c(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, fmt.Sprintf("Fig. 8c: impact of antenna polarization deviation (%d locations)", opt.Locations))
+	exp := opt.Recorder.Begin("8c", "impact of antenna polarization deviation")
+	defer exp.End()
+	exp.Params(opt.evalParams())
+	ctx := opt.runCtx(exp)
 	paper := map[string]string{
 		"deviation = 0 deg":   "[paper: baseline accuracy]",
 		"deviation 0-20 deg":  "[paper median 2.21 m]",
@@ -224,11 +256,12 @@ func RunFig8c(w io.Writer, opt Options) error {
 	dep := testbed.Default()
 	bandsOfDeviation := []struct {
 		name     string
+		key      string
 		min, max float64
 	}{
-		{"deviation = 0 deg", 0, 0},
-		{"deviation 0-20 deg", 0, 20},
-		{"deviation 20-45 deg", 20, 45},
+		{"deviation = 0 deg", "dev0", 0, 0},
+		{"deviation 0-20 deg", "dev0_20", 0, 20},
+		{"deviation 20-45 deg", "dev20_45", 20, 45},
 	}
 	for _, dev := range bandsOfDeviation {
 		rng := rand.New(rand.NewSource(opt.Seed + 90 + int64(dev.max)))
@@ -256,7 +289,7 @@ func RunFig8c(w io.Writer, opt Options) error {
 				if err != nil {
 					return err
 				}
-				est := eng.estimateLink(SysROArray, &links[i], burst)
+				est := eng.estimateLink(ctx, SysROArray, &links[i], burst)
 				obs[i] = links[i].Observation(est.DirectAoADeg)
 			}
 			pos, err := core.Localize(obs, dep.Room, 0.1)
@@ -264,7 +297,16 @@ func RunFig8c(w io.Writer, opt Options) error {
 				return err
 			}
 			errs = append(errs, pos.Dist(client))
+			exp.Record(quality.Trial{
+				System:   SysROArray,
+				Label:    dev.key,
+				Scenario: quality.Scenario{Seed: opt.Seed, Band: "medium", APs: opt.APs, Packets: opt.Packets},
+				Truth:    quality.Pos(client.X, client.Y),
+				Estimate: quality.Pos(pos.X, pos.Y),
+				Errors:   map[string]float64{"loc_m": pos.Dist(client)},
+			})
 		}
+		exp.Aggregate("loc_err."+dev.key, "m", errs)
 		sum, err := stats.Summarize(dev.name, errs)
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"roarray/internal/core"
+	"roarray/internal/quality"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/stats"
@@ -22,6 +23,11 @@ import (
 func RunAblationFusion(w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	header(w, "Ablation: multi-packet fusion size at low SNR (-3 dB)")
+	exp := opt.Recorder.Begin("fs", "multi-packet fusion size at low SNR")
+	defer exp.End()
+	exp.Params(opt.gridParams())
+	ctx := opt.runCtx(exp)
+	probe := quality.NewSolverProbe(opt.Metrics)
 	arr := wireless.Intel5300Array()
 	ofdm := wireless.Intel5300OFDM()
 	est, err := core.NewEstimator(core.Config{
@@ -29,6 +35,7 @@ func RunAblationFusion(w io.Writer, opt Options) error {
 		ThetaGrid:     spectra.UniformGrid(0, 180, opt.ThetaPoints),
 		TauGrid:       spectra.UniformGrid(0, ofdm.MaxToA(), opt.TauPoints),
 		SolverOptions: []sparse.Option{sparse.WithMaxIters(opt.SolverIters)},
+		Metrics:       opt.Metrics,
 	})
 	if err != nil {
 		return err
@@ -49,18 +56,28 @@ func RunAblationFusion(w io.Writer, opt Options) error {
 	for _, n := range []int{1, 2, 5, 10, 15, 30} {
 		var errs []float64
 		const trials = 8
+		key := fmt.Sprintf("pkts%d", n)
+		probe.Take() // re-arm so each trial's delta covers one fused solve
 		for t := 0; t < trials; t++ {
 			burst, err := wireless.GenerateBurst(ch, n, rng)
 			if err != nil {
 				return err
 			}
-			dp, err := est.EstimateDirectAoA(burst)
-			if err != nil {
-				errs = append(errs, 90)
-				continue
+			aoaErr := 90.0
+			if dp, err := est.EstimateDirectAoACtx(ctx, burst); err == nil {
+				aoaErr = math.Abs(dp.ThetaDeg - trueAoA)
 			}
-			errs = append(errs, math.Abs(dp.ThetaDeg-trueAoA))
+			errs = append(errs, aoaErr)
+			exp.Record(quality.Trial{
+				System:   SysROArray,
+				Label:    key,
+				Scenario: quality.Scenario{Seed: opt.Seed, SNRdB: -3, Paths: 2, Packets: n},
+				Truth:    quality.AoA(trueAoA),
+				Errors:   map[string]float64{"aoa_deg": aoaErr},
+				Solver:   probe.Take().Info(sparse.MethodADMM.String()),
+			})
 		}
+		exp.Aggregate("aoa_err."+key, "deg", errs)
 		sum, err := stats.Summarize("", errs)
 		if err != nil {
 			return err

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure transcripts")
+
+// goldenRunners lists every figure whose human-readable output is a pure
+// function of the options (no wall-clock timings printed), pinned byte-for-
+// byte so refactors of the runners — the quality Recorder most of all — are
+// provably non-perturbing. The timing figures (ab, cx) and the batch bench
+// print durations and are deliberately absent.
+var goldenRunners = []string{"2", "3", "4", "6", "7", "8a", "8b", "8c", "og", "fs"}
+
+// TestGoldenTranscripts regenerates each deterministic figure at the fixed
+// tiny settings and requires the output to match the checked-in golden file
+// exactly. Refresh with: go test ./internal/experiments -run Golden -update
+func TestGoldenTranscripts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep is slow")
+	}
+	for _, id := range goldenRunners {
+		t.Run("fig"+id, func(t *testing.T) {
+			runner, _ := Get(id)
+			if runner == nil {
+				t.Fatalf("figure %q not registered", id)
+			}
+			var buf bytes.Buffer
+			if err := runner(&buf, tinyOptions()); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_"+id+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("figure %s output diverged from golden %s\ngot:\n%s\nwant:\n%s",
+					id, path, buf.Bytes(), want)
+			}
+		})
+	}
+}

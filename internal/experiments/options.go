@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"roarray/internal/core"
 	"roarray/internal/obs"
+	"roarray/internal/quality"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/testbed"
@@ -51,6 +53,12 @@ type Options struct {
 	// Tracer, when non-nil, receives JSONL span events for every pipeline
 	// stage of the run.
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, collects the machine-readable evaluation
+	// telemetry of every figure run: per-trial records, gated aggregates,
+	// per-stage wall-clock, solver convergence. Recording is a pure side
+	// channel — the human-readable tables are byte-identical with or
+	// without it (pinned by TestGoldenTranscripts).
+	Recorder *quality.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -97,8 +105,66 @@ func (o Options) estimatorConfig() core.Config {
 	}
 }
 
+// runCtx is the context runners thread through the pipeline *Ctx methods:
+// the user's tracer (-trace) when set — it owns the span stream — else the
+// experiment record's span→stage bridge.
+func (o Options) runCtx(exp *quality.Exp) context.Context {
+	ctx := exp.Ctx(context.Background())
+	if o.Tracer != nil {
+		ctx = obs.WithTracer(context.Background(), o.Tracer)
+	}
+	return ctx
+}
+
+// seedParams names the options every figure's numbers depend on; figures
+// with more knobs merge theirs on top via Exp.Params.
+func (o Options) seedParams() map[string]int64 {
+	return map[string]int64{"seed": o.Seed}
+}
+
+// gridParams covers figures driven by the shared estimator configuration.
+func (o Options) gridParams() map[string]int64 {
+	return map[string]int64{
+		"seed":  o.Seed,
+		"theta": int64(o.ThetaPoints),
+		"tau":   int64(o.TauPoints),
+		"iters": int64(o.SolverIters),
+	}
+}
+
+// evalParams covers the multi-location comparative figures.
+func (o Options) evalParams() map[string]int64 {
+	p := o.gridParams()
+	p["locations"] = int64(o.Locations)
+	p["packets"] = int64(o.Packets)
+	p["aps"] = int64(o.APs)
+	return p
+}
+
+// ParamSummary reports the resolved option values an artifact records at
+// top level. Informational only: the per-experiment Params maps do the
+// comparison gating.
+func (o Options) ParamSummary() map[string]int64 {
+	o = o.withDefaults()
+	return map[string]int64{
+		"locations": int64(o.Locations),
+		"packets":   int64(o.Packets),
+		"aps":       int64(o.APs),
+		"theta":     int64(o.ThetaPoints),
+		"tau":       int64(o.TauPoints),
+		"iters":     int64(o.SolverIters),
+	}
+}
+
 // Runner executes one experiment, writing a human-readable report.
 type Runner func(w io.Writer, opt Options) error
+
+// AllIDs returns every experiment id in canonical run order: the paper
+// figures, the complexity table, then the ablations. "-fig all" runs
+// exactly this list.
+func AllIDs() []string {
+	return []string{"2", "3", "4", "6", "7", "8a", "8b", "8c", "cx", "og", "ab", "fs"}
+}
 
 // Get resolves an experiment by figure id ("2", "3", "4", "6", "7", "8a",
 // "8b", "8c", "cx") or ablation id ("og" off-grid sensitivity, "ab" solver
@@ -139,6 +205,18 @@ func bandLabel(b testbed.SNRBand) string {
 		return "medium SNRs, (2,15) dB"
 	default:
 		return "low SNRs, <=2 dB"
+	}
+}
+
+// bandKey is the band's compact metric-name component.
+func bandKey(b testbed.SNRBand) string {
+	switch b {
+	case testbed.BandHigh:
+		return "high"
+	case testbed.BandMedium:
+		return "medium"
+	default:
+		return "low"
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -68,14 +69,15 @@ func newEvalEngine(opt Options) (*evalEngine, error) {
 	}, nil
 }
 
-// estimateLink runs one system on one link's packet burst. Estimation
+// estimateLink runs one system on one link's packet burst; ctx carries the
+// span tracer (if any) into the ROArray pipeline stages. Estimation
 // failures degrade to an uninformative broadside estimate rather than
 // aborting a whole run, mirroring how a deployed system would behave.
-func (e *evalEngine) estimateLink(system string, link *testbed.Link, packets []*wireless.CSI) linkEstimate {
+func (e *evalEngine) estimateLink(ctx context.Context, system string, link *testbed.Link, packets []*wireless.CSI) linkEstimate {
 	const fallbackAoA = 90.0
 	switch system {
 	case SysROArray:
-		spec, err := e.est.EstimateJointFused(packets)
+		spec, err := e.est.EstimateJointFusedCtx(ctx, packets)
 		if err != nil {
 			return linkEstimate{DirectAoADeg: fallbackAoA, ClosestPeakErr: 180}
 		}
@@ -121,24 +123,37 @@ func topPeaks(peaks []spectra.Peak, k int) []spectra.Peak {
 	return peaks
 }
 
-// BandEval aggregates the comparative metrics of one SNR band.
+// BandEval aggregates the comparative metrics of one SNR band. The slices
+// are parallel: LocErr/Clients/PosEst index by location, AoAErr/AoAEst/
+// AoATrue by location-major, link-minor order.
 type BandEval struct {
 	Band testbed.SNRBand
 	// LocErr maps system -> per-location localization errors (meters).
 	LocErr map[string][]float64
 	// AoAErr maps system -> per-link closest-peak AoA errors (degrees).
 	AoAErr map[string][]float64
+	// Clients holds the ground-truth client position of each location.
+	Clients []core.Point
+	// PosEst maps system -> per-location position estimates.
+	PosEst map[string][]core.Point
+	// AoATrue holds the ground-truth direct-path AoA of each link.
+	AoATrue []float64
+	// AoAEst maps system -> per-link direct-path AoA estimates.
+	AoAEst map[string][]float64
 }
 
 // evaluateBand runs the full three-system comparison over opt.Locations
 // random client placements at the given SNR band (Figs. 6 and 7 share this
-// engine). systems selects which systems to run.
-func (e *evalEngine) evaluateBand(band testbed.SNRBand, systems []string, rng *rand.Rand) (*BandEval, error) {
+// engine). systems selects which systems to run; ctx carries the span
+// tracer (if any) into the ROArray pipeline.
+func (e *evalEngine) evaluateBand(ctx context.Context, band testbed.SNRBand, systems []string, rng *rand.Rand) (*BandEval, error) {
 	dep := testbed.Default()
 	out := &BandEval{
 		Band:   band,
 		LocErr: make(map[string][]float64, len(systems)),
 		AoAErr: make(map[string][]float64, len(systems)),
+		PosEst: make(map[string][]core.Point, len(systems)),
+		AoAEst: make(map[string][]float64, len(systems)),
 	}
 	for loc := 0; loc < e.opt.Locations; loc++ {
 		client := dep.RandomClient(rng)
@@ -149,6 +164,10 @@ func (e *evalEngine) evaluateBand(band testbed.SNRBand, systems []string, rng *r
 		links := sc.Links
 		if e.opt.APs < len(links) {
 			links = links[:e.opt.APs]
+		}
+		out.Clients = append(out.Clients, client)
+		for i := range links {
+			out.AoATrue = append(out.AoATrue, links[i].TrueAoADeg)
 		}
 		// One burst per link, shared across systems (the paper: "all three
 		// methods share the same data and each uses 15 packets").
@@ -167,11 +186,12 @@ func (e *evalEngine) evaluateBand(band testbed.SNRBand, systems []string, rng *r
 			// back in link order.
 			ests := make([]linkEstimate, len(links))
 			e.eng.Map(len(links), func(i int) {
-				ests[i] = e.estimateLink(sys, &links[i], bursts[i])
+				ests[i] = e.estimateLink(ctx, sys, &links[i], bursts[i])
 			})
 			obs := make([]core.APObservation, len(links))
 			for i := range links {
 				out.AoAErr[sys] = append(out.AoAErr[sys], ests[i].ClosestPeakErr)
+				out.AoAEst[sys] = append(out.AoAEst[sys], ests[i].DirectAoADeg)
 				obs[i] = links[i].Observation(ests[i].DirectAoADeg)
 			}
 			pos, err := core.LocalizeParallel(obs, dep.Room, 0.1, e.eng.Workers())
@@ -179,6 +199,7 @@ func (e *evalEngine) evaluateBand(band testbed.SNRBand, systems []string, rng *r
 				return nil, fmt.Errorf("experiments: localize: %w", err)
 			}
 			out.LocErr[sys] = append(out.LocErr[sys], pos.Dist(client))
+			out.PosEst[sys] = append(out.PosEst[sys], pos)
 		}
 	}
 	return out, nil

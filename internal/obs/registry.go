@@ -114,13 +114,55 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the p-quantile (0 <= p <= 1) from the bucket counts by
+// linear interpolation within the bucket holding the target rank: the usual
+// fixed-bucket estimate, exact only at bucket boundaries. The first bucket
+// interpolates from 0, and the overflow bucket pins to the last bound (no
+// upper edge to interpolate toward). NaN when empty or p is out of range.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := p * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // HistogramSnapshot is the JSON shape of one histogram: per-bucket counts
-// aligned with Bounds, plus one trailing overflow count.
+// aligned with Bounds, plus one trailing overflow count. P50/P95 are
+// bucket-interpolated quantile estimates (0 when the histogram is empty).
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
 }
 
 // Snapshot returns a point-in-time copy of the histogram state.
@@ -136,6 +178,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	// NaN is not valid JSON; an empty histogram snapshots quantiles as 0.
+	if s.Count > 0 {
+		s.P50 = h.Quantile(0.5)
+		s.P95 = h.Quantile(0.95)
 	}
 	return s
 }

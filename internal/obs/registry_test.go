@@ -171,6 +171,93 @@ func TestSnapshotJSONShape(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile pins the interpolation rule: the estimate walks to
+// the bucket holding the target rank and interpolates linearly between that
+// bucket's edges (from 0 for the first bucket; the overflow bucket pins to
+// the last bound).
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", 10, 20, 30)
+	// 10 observations in (10,20]: ranks spread uniformly across the bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 of one mid bucket = %v, want 15 (midpoint interpolation)", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %v, want upper bound 20", got)
+	}
+	// First bucket interpolates from 0.
+	h2 := r.Histogram("q2", 10, 20)
+	h2.Observe(5)
+	h2.Observe(5)
+	if got := h2.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 in first bucket = %v, want 5", got)
+	}
+	// Overflow observations pin to the last bound.
+	h3 := r.Histogram("q3", 10)
+	h3.Observe(99)
+	if got := h3.Quantile(0.9); got != 10 {
+		t.Fatalf("overflow quantile = %v, want last bound 10", got)
+	}
+	// Split across buckets: 1 obs in (0,10], 3 in (10,20] -> p25 at the
+	// first bucket's upper edge, p75 midway into the second's top half.
+	h4 := r.Histogram("q4", 10, 20)
+	h4.Observe(5)
+	h4.Observe(15)
+	h4.Observe(15)
+	h4.Observe(15)
+	if got := h4.Quantile(0.25); got != 10 {
+		t.Fatalf("p25 = %v, want 10", got)
+	}
+	if got, want := h4.Quantile(0.75), 10+10*(2.0/3.0); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("p75 = %v, want ~%v", got, want)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !isNaN(got) {
+		t.Fatalf("nil histogram quantile = %v, want NaN", got)
+	}
+	r := NewRegistry()
+	h := r.Histogram("empty", 1, 2)
+	if got := h.Quantile(0.5); !isNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", got)
+	}
+	h.Observe(1)
+	for _, p := range []float64{-0.1, 1.1} {
+		if got := h.Quantile(p); !isNaN(got) {
+			t.Fatalf("out-of-range p=%v quantile = %v, want NaN", p, got)
+		}
+	}
+	// Empty histograms keep quantiles out of the JSON snapshot as zeros.
+	s := r.Histogram("empty2", 1, 2).Snapshot()
+	if s.P50 != 0 || s.P95 != 0 {
+		t.Fatalf("empty snapshot quantiles = %v/%v, want 0/0", s.P50, s.P95)
+	}
+}
+
+func isNaN(v float64) bool { return v != v }
+
+// TestSnapshotQuantiles checks Snapshot surfaces the interpolated p50/p95.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 10, 20, 30)
+	for i := 0; i < 20; i++ {
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	if s.P50 != h.Quantile(0.5) || s.P95 != h.Quantile(0.95) {
+		t.Fatalf("snapshot quantiles %v/%v disagree with Quantile %v/%v",
+			s.P50, s.P95, h.Quantile(0.5), h.Quantile(0.95))
+	}
+	if s.P50 <= 10 || s.P95 > 20 {
+		t.Fatalf("quantiles outside the populated bucket: %+v", s)
+	}
+}
+
 func TestBucketHelpers(t *testing.T) {
 	exp := ExpBuckets(1, 2, 4)
 	want := []float64{1, 2, 4, 8}

@@ -1,0 +1,194 @@
+package quality
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+)
+
+// Status classifies one compared metric.
+type Status string
+
+const (
+	// StatusOK: gated and inside the baseline's tolerance band.
+	StatusOK Status = "ok"
+	// StatusFail: gated and outside the band — a regression (or an
+	// unblessed improvement; the gate is a change detector).
+	StatusFail Status = "FAIL"
+	// StatusMissing: the baseline gates this metric but the current
+	// artifact does not carry it — treated as a failure.
+	StatusMissing Status = "MISSING"
+	// StatusSkip: present in both but incomparable (different experiment
+	// params or sample counts); reported, never failed.
+	StatusSkip Status = "skip"
+	// StatusInfo: carried by both but informational (no tolerance).
+	StatusInfo Status = "info"
+	// StatusNew: in the current artifact only; becomes gated once the
+	// baseline is re-blessed.
+	StatusNew Status = "new"
+)
+
+// Row is one metric's comparison outcome.
+type Row struct {
+	Experiment string
+	Metric     string
+	Unit       string
+	Status     Status
+	Base       float64 // baseline median
+	Cur        float64 // current median
+	Tol        Tolerance
+	Note       string
+}
+
+// Report is the full diff of a current artifact against a baseline.
+type Report struct {
+	Rows []Row
+}
+
+// OK reports whether no gated metric failed or went missing.
+func (r *Report) OK() bool {
+	for _, row := range r.Rows {
+		if row.Status == StatusFail || row.Status == StatusMissing {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts tallies rows by status.
+func (r *Report) Counts() map[Status]int {
+	out := make(map[Status]int, 6)
+	for _, row := range r.Rows {
+		out[row.Status]++
+	}
+	return out
+}
+
+// Compare diffs cur against base, metric by metric. Gating is driven
+// entirely by the baseline: its tolerance bands, its set of aggregates.
+// Metrics are compared on their medians; p90/p95/mean ride along in the
+// artifact for trend analysis but only the median gates, because at the
+// harness's sample sizes the tail quantiles carry too much sampling noise
+// to fail a build on.
+func Compare(base, cur *Artifact) *Report {
+	rep := &Report{}
+	for _, be := range base.Experiments {
+		ce := cur.Experiment(be.ID)
+		if ce == nil {
+			for _, bg := range be.Aggregates {
+				if bg.Tol.Gated() {
+					rep.Rows = append(rep.Rows, Row{
+						Experiment: be.ID, Metric: bg.Name, Unit: bg.Unit,
+						Status: StatusMissing, Base: bg.Median, Cur: math.NaN(),
+						Tol: bg.Tol, Note: "experiment absent from current artifact",
+					})
+				}
+			}
+			continue
+		}
+		comparable := reflect.DeepEqual(be.Params, ce.Params)
+		for _, bg := range be.Aggregates {
+			row := Row{Experiment: be.ID, Metric: bg.Name, Unit: bg.Unit, Base: bg.Median, Tol: bg.Tol}
+			cg := ce.Aggregate(bg.Name)
+			switch {
+			case cg == nil:
+				if !bg.Tol.Gated() {
+					continue
+				}
+				row.Status = StatusMissing
+				row.Cur = math.NaN()
+				row.Note = "metric absent from current artifact"
+			case !comparable:
+				row.Status = StatusSkip
+				row.Cur = cg.Median
+				row.Note = fmt.Sprintf("params differ (baseline %v vs %v)", be.Params, ce.Params)
+			case cg.N != bg.N:
+				row.Status = StatusSkip
+				row.Cur = cg.Median
+				row.Note = fmt.Sprintf("sample counts differ (n=%d vs baseline n=%d)", cg.N, bg.N)
+			case !bg.Tol.Gated():
+				row.Status = StatusInfo
+				row.Cur = cg.Median
+			case bg.Tol.Within(bg.Median, cg.Median):
+				row.Status = StatusOK
+				row.Cur = cg.Median
+			default:
+				row.Status = StatusFail
+				row.Cur = cg.Median
+				row.Note = exceedance(bg.Tol, bg.Median, cg.Median)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		// Current-only aggregates: visible so a re-bless picks them up.
+		for _, cg := range ce.Aggregates {
+			if be.Aggregate(cg.Name) == nil {
+				rep.Rows = append(rep.Rows, Row{
+					Experiment: be.ID, Metric: cg.Name, Unit: cg.Unit,
+					Status: StatusNew, Base: math.NaN(), Cur: cg.Median, Note: "not in baseline",
+				})
+			}
+		}
+	}
+	for _, ce := range cur.Experiments {
+		if base.Experiment(ce.ID) == nil {
+			rep.Rows = append(rep.Rows, Row{
+				Experiment: ce.ID, Metric: "*", Status: StatusNew,
+				Base: math.NaN(), Cur: math.NaN(), Note: "experiment not in baseline",
+			})
+		}
+	}
+	return rep
+}
+
+func exceedance(t Tolerance, base, cur float64) string {
+	d := math.Abs(cur - base)
+	switch {
+	case t.Abs > 0 && t.Rel > 0:
+		return fmt.Sprintf("|Δ|=%.4g exceeds abs %.4g and rel %.4g", d, t.Abs, t.Rel)
+	case t.Rel > 0:
+		return fmt.Sprintf("|Δ|=%.4g exceeds rel band %.4g×|base|=%.4g", d, t.Rel, t.Rel*math.Abs(base))
+	default:
+		return fmt.Sprintf("|Δ|=%.4g exceeds abs band %.4g", d, t.Abs)
+	}
+}
+
+// Format renders the human-readable diff: failures first, then the rest,
+// then a one-line tally. verbose includes ok/info/new rows; without it
+// only failures, missing metrics, and skips are listed.
+func (r *Report) Format(w io.Writer, verbose bool) {
+	order := []Status{StatusFail, StatusMissing, StatusSkip, StatusOK, StatusInfo, StatusNew}
+	for _, st := range order {
+		if !verbose && (st == StatusOK || st == StatusInfo || st == StatusNew) {
+			continue
+		}
+		for _, row := range r.Rows {
+			if row.Status != st {
+				continue
+			}
+			fmt.Fprintf(w, "%-8s %-28s base=%s cur=%s%s\n",
+				row.Status, row.Experiment+"/"+row.Metric,
+				fmtVal(row.Base, row.Unit), fmtVal(row.Cur, row.Unit), note(row.Note))
+		}
+	}
+	c := r.Counts()
+	fmt.Fprintf(w, "quality-compare: %d failed, %d missing, %d ok, %d skipped, %d informational, %d new\n",
+		c[StatusFail], c[StatusMissing], c[StatusOK], c[StatusSkip], c[StatusInfo], c[StatusNew])
+}
+
+func fmtVal(v float64, unit string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if unit != "" {
+		return fmt.Sprintf("%.4g%s", v, unit)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func note(s string) string {
+	if s == "" {
+		return ""
+	}
+	return "  (" + s + ")"
+}

@@ -1,0 +1,144 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// twin builds a baseline/current pair sharing one gated metric.
+func twin() (*Artifact, *Artifact) {
+	mk := func(median float64) *Artifact {
+		return &Artifact{
+			SchemaVersion: SchemaVersion,
+			Seed:          5,
+			Experiments: []*Experiment{{
+				ID:     "fig6",
+				Params: map[string]int64{"locations": 2, "seed": 5},
+				Aggregates: []Aggregate{
+					{Name: "loc_err.low.ROArray", Unit: "m", N: 2, Median: median, Tol: Tolerance{Abs: 0.75}},
+					{Name: "sharpness", Unit: "", N: 2, Median: 3.0},
+				},
+			}},
+		}
+	}
+	return mk(0.91), mk(0.91)
+}
+
+func TestComparePass(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Aggregates[0].Median = 1.2 // inside 0.75 m band
+	rep := Compare(base, cur)
+	if !rep.OK() {
+		t.Fatalf("in-band drift failed the gate: %+v", rep.Rows)
+	}
+	if rep.Counts()[StatusOK] != 1 || rep.Counts()[StatusInfo] != 1 {
+		t.Fatalf("row statuses wrong: %+v", rep.Rows)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Aggregates[0].Median = 2.31 // 1.4 m off, band is 0.75
+	rep := Compare(base, cur)
+	if rep.OK() {
+		t.Fatal("out-of-band regression passed the gate")
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf, false)
+	out := buf.String()
+	for _, want := range []string{"FAIL", "fig6/loc_err.low.ROArray", "base=0.91m", "cur=2.31m", "exceeds abs band"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The gate is symmetric: a metric that got drastically *better* also
+// demands an explicit re-bless.
+func TestCompareImprovementAlsoFails(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Aggregates[0].Median = 0.05
+	if Compare(base, cur).OK() {
+		t.Fatal("out-of-band improvement slipped through")
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Aggregates = cur.Experiments[0].Aggregates[1:] // drop the gated one
+	rep := Compare(base, cur)
+	if rep.OK() {
+		t.Fatal("missing gated metric passed")
+	}
+	if rep.Counts()[StatusMissing] != 1 {
+		t.Fatalf("expected one MISSING row: %+v", rep.Rows)
+	}
+}
+
+func TestCompareMissingExperimentFails(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments = nil
+	rep := Compare(base, cur)
+	if rep.OK() {
+		t.Fatal("missing experiment passed")
+	}
+	if rep.Counts()[StatusMissing] != 1 {
+		t.Fatalf("expected the gated metric reported MISSING: %+v", rep.Rows)
+	}
+}
+
+// Different scale knobs make metrics incomparable, not failing: the gate
+// must not fire when someone runs the harness at a different size.
+func TestCompareParamMismatchSkips(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Params["locations"] = 10
+	rep := Compare(base, cur)
+	if !rep.OK() {
+		t.Fatalf("param mismatch failed instead of skipping: %+v", rep.Rows)
+	}
+	if rep.Counts()[StatusSkip] != 2 {
+		t.Fatalf("expected both metrics skipped: %+v", rep.Rows)
+	}
+}
+
+func TestCompareNMismatchSkips(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Aggregates[0].N = 99
+	rep := Compare(base, cur)
+	if !rep.OK() || rep.Counts()[StatusSkip] != 1 {
+		t.Fatalf("sample-count mismatch not skipped: %+v", rep.Rows)
+	}
+}
+
+func TestCompareNewMetricsReported(t *testing.T) {
+	base, cur := twin()
+	cur.Experiments[0].Aggregates = append(cur.Experiments[0].Aggregates,
+		Aggregate{Name: "brand_new", Unit: "m", N: 2, Median: 1})
+	cur.Experiments = append(cur.Experiments, &Experiment{ID: "fig99"})
+	rep := Compare(base, cur)
+	if !rep.OK() {
+		t.Fatal("new metrics must not fail the gate")
+	}
+	if rep.Counts()[StatusNew] != 2 {
+		t.Fatalf("expected new metric + new experiment rows: %+v", rep.Rows)
+	}
+}
+
+func TestCompareRelativeLatencyBand(t *testing.T) {
+	base, cur := twin()
+	base.Experiments[0].Aggregates = append(base.Experiments[0].Aggregates,
+		Aggregate{Name: "solve_s", Unit: "s", N: 4, Median: 0.010, Tol: Tolerance{Rel: 9}})
+	withSolve := func(v float64) {
+		cur.Experiments[0].Aggregates = append(cur.Experiments[0].Aggregates[:2],
+			Aggregate{Name: "solve_s", Unit: "s", N: 4, Median: v, Tol: Tolerance{Rel: 9}})
+	}
+	withSolve(0.09) // 9x slower: |Δ|=0.08 <= 9*0.01
+	if !Compare(base, cur).OK() {
+		t.Fatal("within-band latency drift failed")
+	}
+	withSolve(0.2) // 20x slower
+	if Compare(base, cur).OK() {
+		t.Fatal("order-of-magnitude latency regression passed")
+	}
+}

@@ -1,0 +1,306 @@
+// Package quality is the evaluation-telemetry backbone of the repository:
+// a versioned, machine-readable record schema for every experiment the
+// harness runs (per-trial scenario/truth/estimate/error records plus
+// aggregate distributions), a Recorder the experiment runners emit into as
+// a side channel of their human-readable tables, and a tolerance-band
+// comparator that diffs one artifact against a committed baseline so
+// accuracy and latency regressions fail CI instead of hiding in prose.
+//
+// The artifact an evaluation run produces (roabench -artifact) is a single
+// JSON document: schema version, the run's seed and scale knobs, and one
+// Experiment per figure/ablation executed. Baselines are the same document
+// checked into the repository (BENCH_quality.json); Compare gates the
+// metrics the two runs share under matching parameters.
+package quality
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// SchemaVersion identifies the artifact layout. Readers reject artifacts
+// from a different major layout rather than mis-diffing them; bump it when
+// a field changes meaning, not when fields are added.
+const SchemaVersion = 1
+
+// Artifact is one evaluation run, serialized as a single JSON document.
+type Artifact struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Tool          string `json:"tool,omitempty"`
+	// Seed is the run's master seed; artifacts compared against each other
+	// should share it.
+	Seed int64 `json:"seed"`
+	// Options snapshots the scale knobs the run used (locations, packets,
+	// grid sizes, ...) for provenance; per-experiment comparability is
+	// decided by each Experiment's Params, not by this map.
+	Options map[string]int64 `json:"options,omitempty"`
+	// Experiments appear in execution order.
+	Experiments []*Experiment `json:"experiments"`
+}
+
+// Experiment is the machine-readable record of one figure or ablation run.
+type Experiment struct {
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
+	// Params holds the option values that actually influence this
+	// experiment's numbers (e.g. fig2 depends on the seed only, fig6 also
+	// on locations/packets/APs/grid). Two artifacts' metrics are gated
+	// against each other only when their Params match exactly — a run at a
+	// different scale is incomparable, not a regression.
+	Params map[string]int64 `json:"params,omitempty"`
+	// Trials are the per-measurement records, in emission order.
+	Trials []Trial `json:"trials,omitempty"`
+	// Aggregates are the gated distribution summaries.
+	Aggregates []Aggregate `json:"aggregates,omitempty"`
+	// Stages aggregates pipeline wall-clock by span name, bridged from the
+	// obs tracer (estimate.solve, estimate.fuse, localize.grid, ...).
+	Stages map[string]Stage `json:"stages,omitempty"`
+	// ElapsedNs is the experiment's wall-clock; TrialsPerSecond derives
+	// from it and the trial count. Both are informational (never gated).
+	ElapsedNs       int64   `json:"elapsedNs,omitempty"`
+	TrialsPerSecond float64 `json:"trialsPerSecond,omitempty"`
+	// Convergence summarizes the sparse-solver telemetry delta observed
+	// over the experiment, when a metrics registry was attached.
+	Convergence *Convergence `json:"convergence,omitempty"`
+}
+
+// Trial is one per-measurement record: what scenario was posed, what the
+// system answered, and how far off it was.
+type Trial struct {
+	// Index orders trials within the experiment.
+	Index int `json:"trial"`
+	// System names the system under test (ROArray, SpotFi, ...) when the
+	// experiment compares several; empty otherwise.
+	System string `json:"system,omitempty"`
+	// Label names the experiment condition this trial belongs to
+	// ("18dB", "grid61.offgrid", "aps3", ...).
+	Label    string        `json:"label,omitempty"`
+	Scenario Scenario      `json:"scenario"`
+	Truth    *PathEstimate `json:"truth,omitempty"`
+	Estimate *PathEstimate `json:"estimate,omitempty"`
+	// Errors maps metric name to value: "aoa_deg" (closest-peak or
+	// direct-path AoA error), "loc_m" (position error), "toa_ns", ...
+	Errors map[string]float64 `json:"errors,omitempty"`
+	// Solver carries the sparse-solver outcome when the runner observed it.
+	Solver *SolverInfo `json:"solver,omitempty"`
+}
+
+// Scenario captures the generative parameters of one trial.
+type Scenario struct {
+	Seed    int64   `json:"seed,omitempty"`
+	SNRdB   float64 `json:"snrDb,omitempty"`
+	Band    string  `json:"band,omitempty"`
+	Paths   int     `json:"paths,omitempty"`
+	APs     int     `json:"aps,omitempty"`
+	Packets int     `json:"packets,omitempty"`
+}
+
+// PathEstimate is a ground truth or estimate: a direct-path AoA/ToA and/or
+// a position. Unused fields stay zero and are omitted from JSON via the
+// Has* flags, so "AoA of exactly 0" survives a round trip.
+type PathEstimate struct {
+	AoADeg float64 `json:"aoaDeg,omitempty"`
+	ToANs  float64 `json:"toaNs,omitempty"`
+	X      float64 `json:"x,omitempty"`
+	Y      float64 `json:"y,omitempty"`
+	HasAoA bool    `json:"hasAoa,omitempty"`
+	HasToA bool    `json:"hasToa,omitempty"`
+	HasPos bool    `json:"hasPos,omitempty"`
+}
+
+// AoAToA builds a PathEstimate holding a direct path.
+func AoAToA(aoaDeg, toaNs float64) *PathEstimate {
+	return &PathEstimate{AoADeg: aoaDeg, ToANs: toaNs, HasAoA: true, HasToA: true}
+}
+
+// AoA builds a PathEstimate holding only an angle.
+func AoA(aoaDeg float64) *PathEstimate {
+	return &PathEstimate{AoADeg: aoaDeg, HasAoA: true}
+}
+
+// Pos builds a PathEstimate holding a position.
+func Pos(x, y float64) *PathEstimate {
+	return &PathEstimate{X: x, Y: y, HasPos: true}
+}
+
+// SolverInfo is the sparse-solver outcome of one trial.
+type SolverInfo struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	Converged  bool   `json:"converged"`
+}
+
+// Stage is the aggregated wall-clock of one pipeline span name.
+type Stage struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"totalNs"`
+}
+
+// Convergence summarizes solver behaviour over an experiment.
+type Convergence struct {
+	Solves       int64   `json:"solves"`
+	NonConverged int64   `json:"nonConverged"`
+	Rate         float64 `json:"rate"` // converged fraction in [0,1]
+}
+
+// Aggregate is one gated distribution summary. Units pick the default
+// tolerance class: degrees and meters gate on an absolute band, seconds
+// (latency) on a relative band, ratios on an absolute band.
+type Aggregate struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit"`
+	N      int     `json:"n"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	P95    float64 `json:"p95"`
+	Mean   float64 `json:"mean"`
+	// Tol is the band within which a later run's Median is considered
+	// equivalent. Both fields zero marks the metric informational: it is
+	// reported but never failed.
+	Tol Tolerance `json:"tol"`
+}
+
+// Tolerance is a symmetric acceptance band around a baseline value. A
+// metric passes when |cur-base| <= Abs OR |cur-base| <= Rel*|base|; with
+// both zero the metric is informational. Symmetric on purpose: the gate is
+// a change detector — a figure that silently got much *better* also means
+// the experiment no longer measures what the baseline blessed, and should
+// be re-blessed explicitly.
+type Tolerance struct {
+	Abs float64 `json:"abs,omitempty"`
+	Rel float64 `json:"rel,omitempty"`
+}
+
+// Gated reports whether the tolerance actually gates (non-informational).
+func (t Tolerance) Gated() bool { return t.Abs > 0 || t.Rel > 0 }
+
+// Within reports whether cur is inside the band around base.
+func (t Tolerance) Within(base, cur float64) bool {
+	d := math.Abs(cur - base)
+	if t.Abs > 0 && d <= t.Abs {
+		return true
+	}
+	if t.Rel > 0 && d <= t.Rel*math.Abs(base) {
+		return true
+	}
+	return false
+}
+
+// DefaultTolerance maps a unit to its gate band: absolute for accuracy
+// units, wide-relative for wall-clock (CI machines vary enormously; the
+// latency gate is for order-of-magnitude regressions only).
+func DefaultTolerance(unit string) Tolerance {
+	switch unit {
+	case "deg":
+		return Tolerance{Abs: 2.0}
+	case "m":
+		return Tolerance{Abs: 0.75}
+	case "ratio":
+		return Tolerance{Abs: 0.15}
+	case "s", "ns":
+		return Tolerance{Rel: 9.0}
+	default:
+		return Tolerance{} // informational
+	}
+}
+
+// Validate checks structural invariants of a decoded artifact.
+func (a *Artifact) Validate() error {
+	if a.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("quality: artifact schema version %d, this build reads %d (re-bless the baseline)",
+			a.SchemaVersion, SchemaVersion)
+	}
+	seen := make(map[string]bool, len(a.Experiments))
+	for _, e := range a.Experiments {
+		if e == nil || e.ID == "" {
+			return fmt.Errorf("quality: artifact contains an unnamed experiment")
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("quality: duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+		names := make(map[string]bool, len(e.Aggregates))
+		for _, g := range e.Aggregates {
+			if g.Name == "" {
+				return fmt.Errorf("quality: experiment %q has an unnamed aggregate", e.ID)
+			}
+			if names[g.Name] {
+				return fmt.Errorf("quality: experiment %q has duplicate aggregate %q", e.ID, g.Name)
+			}
+			names[g.Name] = true
+			if math.IsNaN(g.Median) {
+				return fmt.Errorf("quality: experiment %q aggregate %q has NaN median", e.ID, g.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Experiment returns the named experiment record, or nil.
+func (a *Artifact) Experiment(id string) *Experiment {
+	for _, e := range a.Experiments {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// Aggregate returns the named aggregate, or nil.
+func (e *Experiment) Aggregate(name string) *Aggregate {
+	for i := range e.Aggregates {
+		if e.Aggregates[i].Name == name {
+			return &e.Aggregates[i]
+		}
+	}
+	return nil
+}
+
+// Write serializes the artifact as indented JSON.
+func (a *Artifact) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteFile writes the artifact to path.
+func (a *Artifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("quality: %w", err)
+	}
+	if err := a.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("quality: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Read decodes and validates an artifact.
+func Read(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("quality: decode artifact: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// ReadFile reads and validates the artifact at path.
+func ReadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("quality: %w", err)
+	}
+	defer f.Close()
+	a, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("quality: %s: %w", path, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,152 @@
+package quality
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleArtifact exercises every field of the schema.
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		SchemaVersion: SchemaVersion,
+		Tool:          "roabench",
+		Seed:          5,
+		Options:       map[string]int64{"locations": 2, "packets": 4},
+		Experiments: []*Experiment{
+			{
+				ID:     "fig2",
+				Title:  "MUSIC AoA spectrum vs SNR",
+				Params: map[string]int64{"seed": 5},
+				Trials: []Trial{
+					{
+						Index:    0,
+						Label:    "18dB",
+						Scenario: Scenario{Seed: 5, SNRdB: 18, Paths: 4, Packets: 1},
+						Truth:    AoA(150),
+						Estimate: AoAToA(149.2, 41),
+						Errors:   map[string]float64{"aoa_deg": 0.8},
+						Solver:   &SolverInfo{Name: "admm", Iterations: 150, Converged: true},
+					},
+					{
+						Index:    1,
+						System:   "ROArray",
+						Scenario: Scenario{Band: "low", APs: 4},
+						Truth:    Pos(3.5, 7.25),
+						Estimate: Pos(4.0, 7.0),
+						Errors:   map[string]float64{"loc_m": 0.559},
+					},
+				},
+				Aggregates: []Aggregate{
+					{Name: "aoa_err.18dB", Unit: "deg", N: 12, Median: 0.3, P90: 1.1, P95: 1.4, Mean: 0.5, Tol: Tolerance{Abs: 2}},
+					{Name: "solve_s", Unit: "s", N: 8, Median: 0.02, P90: 0.03, P95: 0.031, Mean: 0.021, Tol: Tolerance{Rel: 9}},
+				},
+				Stages:          map[string]Stage{"estimate.solve": {Count: 12, TotalNs: 240e6}},
+				ElapsedNs:       1.5e9,
+				TrialsPerSecond: 8,
+				Convergence:     &Convergence{Solves: 12, NonConverged: 1, Rate: 11.0 / 12.0},
+			},
+		},
+	}
+}
+
+// TestRoundTrip is the golden round-trip: marshal -> unmarshal -> deep
+// equality, proving no field is lost or aliased in transit.
+func TestRoundTrip(t *testing.T) {
+	a := sampleArtifact()
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip diverged:\nwrote %+v\nread  %+v", a, got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	a := sampleArtifact()
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatal("file round trip diverged")
+	}
+}
+
+// TestSchemaVersionBump: an artifact from a different schema generation is
+// rejected with a message pointing at re-blessing, not silently diffed.
+func TestSchemaVersionBump(t *testing.T) {
+	a := sampleArtifact()
+	a.SchemaVersion = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("future-schema artifact accepted")
+	} else if !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("unhelpful version error: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	dup := sampleArtifact()
+	dup.Experiments = append(dup.Experiments, &Experiment{ID: "fig2"})
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate experiment accepted")
+	}
+	unnamed := sampleArtifact()
+	unnamed.Experiments[0].Aggregates[0].Name = ""
+	if err := unnamed.Validate(); err == nil {
+		t.Fatal("unnamed aggregate accepted")
+	}
+	dupAgg := sampleArtifact()
+	dupAgg.Experiments[0].Aggregates[1].Name = dupAgg.Experiments[0].Aggregates[0].Name
+	if err := dupAgg.Validate(); err == nil {
+		t.Fatal("duplicate aggregate accepted")
+	}
+}
+
+func TestTolerance(t *testing.T) {
+	abs := Tolerance{Abs: 0.5}
+	if !abs.Within(1.0, 1.4) || abs.Within(1.0, 1.6) {
+		t.Fatal("absolute band wrong")
+	}
+	rel := Tolerance{Rel: 0.5}
+	if !rel.Within(10, 14.9) || rel.Within(10, 15.1) {
+		t.Fatal("relative band wrong")
+	}
+	none := Tolerance{}
+	if none.Gated() || none.Within(1, 1) {
+		t.Fatal("informational tolerance should gate nothing and match nothing")
+	}
+	if !DefaultTolerance("deg").Gated() || !DefaultTolerance("m").Gated() ||
+		!DefaultTolerance("s").Gated() || DefaultTolerance("sharpness").Gated() {
+		t.Fatal("default tolerance classes wrong")
+	}
+	if DefaultTolerance("deg").Rel != 0 || DefaultTolerance("s").Abs != 0 {
+		t.Fatal("accuracy units must gate absolutely, latency relatively")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	a := sampleArtifact()
+	if a.Experiment("fig2") == nil || a.Experiment("nope") != nil {
+		t.Fatal("Experiment lookup wrong")
+	}
+	e := a.Experiment("fig2")
+	if e.Aggregate("solve_s") == nil || e.Aggregate("nope") != nil {
+		t.Fatal("Aggregate lookup wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package quality
+
+import (
+	"context"
+	"testing"
+
+	"roarray/internal/obs"
+)
+
+// TestNilRecorderNoOps: every method chain on the disabled recorder must be
+// callable unconditionally from runner code.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	x := r.Begin("fig2", "title")
+	if x != nil {
+		t.Fatal("nil recorder handed out a live Exp")
+	}
+	x.Params(map[string]int64{"seed": 1})
+	x.Record(Trial{})
+	x.Aggregate("a", "deg", []float64{1})
+	x.Value("b", "s", 1)
+	if ctx := x.Ctx(context.Background()); ctx != context.Background() {
+		t.Fatal("nil Exp altered the context")
+	}
+	x.End()
+	if a := r.Artifact("t", 1, nil); a != nil {
+		t.Fatal("nil recorder produced an artifact")
+	}
+}
+
+func TestRecorderAssemblesArtifact(t *testing.T) {
+	r := NewRecorder(nil)
+	x := r.Begin("fig2", "MUSIC vs SNR")
+	x.Params(map[string]int64{"seed": 5})
+	x.Record(Trial{Label: "18dB", Errors: map[string]float64{"aoa_deg": 0.3}})
+	x.Record(Trial{Label: "7dB", Errors: map[string]float64{"aoa_deg": 2.1}})
+	x.Aggregate("aoa_err.18dB", "deg", []float64{0.3, 0.5, 0.2})
+	x.Value("speedup", "ratio", 1.0)
+	x.End()
+	y := r.Begin("fig3", "solver iterations") // left open: Artifact must close it
+	y.Record(Trial{})
+
+	a := r.Artifact("roabench", 5, map[string]int64{"locations": 2})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Experiments) != 2 || a.Experiments[0].ID != "fig2" || a.Experiments[1].ID != "fig3" {
+		t.Fatalf("experiments wrong: %+v", a.Experiments)
+	}
+	e := a.Experiment("fig2")
+	if len(e.Trials) != 2 || e.Trials[0].Index != 0 || e.Trials[1].Index != 1 {
+		t.Fatalf("trial indices wrong: %+v", e.Trials)
+	}
+	agg := e.Aggregate("aoa_err.18dB")
+	if agg == nil || agg.N != 3 || agg.Median != 0.3 || !agg.Tol.Gated() {
+		t.Fatalf("aggregate wrong: %+v", agg)
+	}
+	if sp := e.Aggregate("speedup"); sp == nil || sp.N != 1 || sp.Median != 1.0 {
+		t.Fatalf("single-value aggregate wrong: %+v", sp)
+	}
+	if e.ElapsedNs <= 0 || e.TrialsPerSecond <= 0 {
+		t.Fatalf("elapsed/tps not stamped: %+v", e)
+	}
+	if a.Experiment("fig3").ElapsedNs <= 0 {
+		t.Fatal("open experiment was not closed by Artifact")
+	}
+}
+
+// TestSpanBridge: spans emitted under Exp.Ctx land as per-stage wall-clock,
+// with per-instance suffixes folded together.
+func TestSpanBridge(t *testing.T) {
+	r := NewRecorder(nil)
+	x := r.Begin("fig6", "")
+	ctx := x.Ctx(context.Background())
+	for i := 0; i < 3; i++ {
+		c2, sp := obs.StartSpan(ctx, "estimate.ap0")
+		_, inner := obs.StartSpan(c2, "estimate.solve")
+		inner.End()
+		sp.End()
+	}
+	_, sp := obs.StartSpan(ctx, "estimate.ap1")
+	sp.End()
+	x.End()
+	a := r.Artifact("t", 1, nil)
+	st := a.Experiment("fig6").Stages
+	if st["estimate.ap"].Count != 4 {
+		t.Fatalf("ap spans not folded: %+v", st)
+	}
+	if st["estimate.solve"].Count != 3 || st["estimate.solve"].TotalNs < 0 {
+		t.Fatalf("solve spans wrong: %+v", st)
+	}
+}
+
+// TestSolverProbe: deltas of the sparse telemetry counters convert into
+// per-trial SolverInfo and per-experiment convergence.
+func TestSolverProbe(t *testing.T) {
+	reg := obs.NewRegistry()
+	iter := reg.Histogram("sparse.solve.iterations", 1, 10, 100, 1000)
+	nonconv := reg.Counter("sparse.solve.nonconverged_total")
+
+	r := NewRecorder(reg)
+	x := r.Begin("ab", "solver comparison")
+	probe := NewSolverProbe(reg)
+
+	iter.Observe(120) // solve 1: converged in 120 iterations
+	d := probe.Take()
+	info := d.Info("admm")
+	if info == nil || info.Iterations != 120 || !info.Converged || info.Name != "admm" {
+		t.Fatalf("per-solve info wrong: %+v", info)
+	}
+	iter.Observe(150) // solve 2: hit the cap
+	nonconv.Inc()
+	info = probe.Take().Info("admm")
+	if info == nil || info.Iterations != 150 || info.Converged {
+		t.Fatalf("non-converged solve info wrong: %+v", info)
+	}
+	if d := (SolverDelta{}); d.Info("x") != nil {
+		t.Fatal("zero delta must yield nil info")
+	}
+
+	x.End()
+	a := r.Artifact("t", 1, nil)
+	cv := a.Experiment("ab").Convergence
+	if cv == nil || cv.Solves != 2 || cv.NonConverged != 1 || cv.Rate != 0.5 {
+		t.Fatalf("experiment convergence wrong: %+v", cv)
+	}
+}
+
+func TestSolverProbeNilSafe(t *testing.T) {
+	var p *SolverProbe
+	if p.Take() != (SolverDelta{}) {
+		t.Fatal("nil probe delta not zero")
+	}
+	p = NewSolverProbe(nil)
+	if p.Take() != (SolverDelta{}) {
+		t.Fatal("nil-registry probe delta not zero")
+	}
+}
+
+func TestNormalizeStage(t *testing.T) {
+	for in, want := range map[string]string{
+		"estimate.ap3":   "estimate.ap",
+		"localize.req12": "localize.req",
+		"estimate.solve": "estimate.solve",
+		"localize.grid":  "localize.grid",
+	} {
+		if got := normalizeStage(in); got != want {
+			t.Fatalf("normalizeStage(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestAggregateRejectsBadSamples: empty or NaN sample sets must not become
+// zero-valued gated metrics.
+func TestAggregateRejectsBadSamples(t *testing.T) {
+	r := NewRecorder(nil)
+	x := r.Begin("e", "")
+	x.Aggregate("empty", "deg", nil)
+	x.End()
+	if len(r.Artifact("t", 1, nil).Experiment("e").Aggregates) != 0 {
+		t.Fatal("empty sample set produced an aggregate")
+	}
+}

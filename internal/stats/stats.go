@@ -96,6 +96,7 @@ type Summary struct {
 	N      int
 	Median float64
 	P90    float64
+	P95    float64
 	Mean   float64
 }
 
@@ -110,6 +111,7 @@ func Summarize(name string, samples []float64) (Summary, error) {
 		N:      c.N(),
 		Median: c.Median(),
 		P90:    c.Quantile(0.9),
+		P95:    c.Quantile(0.95),
 		Mean:   c.Mean(),
 	}, nil
 }
