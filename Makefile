@@ -7,11 +7,11 @@ GO ?= go
 # Packages that share state across goroutines — the estimator/solver caches
 # and the observability registry/tracer — the race gate hammers exactly these
 # so the full -race sweep stays affordable.
-RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/...
+RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/...
 
-.PHONY: check vet build test race bench profile experiments quality-gate bless-quality
+.PHONY: check vet build test race bench profile experiments quality-gate bless-quality serve-smoke bless-serve
 
-check: vet build test race quality-gate
+check: vet build test race quality-gate serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,19 @@ QUALITY_FLAGS := -seed 5 -locations 2 -packets 4 -aps 4
 quality-gate:
 	$(GO) run ./cmd/roabench -fig all $(QUALITY_FLAGS) -artifact quality_current.json > /dev/null
 	$(GO) run ./cmd/roabench -compare BENCH_quality.json -artifact quality_current.json
+
+# End-to-end smoke of the serving stack (roaserve + roaload over HTTP):
+# boots the server on a free port, offers closed-loop load, gates on
+# completed requests and micro-batch coalescing, and requires a clean
+# SIGTERM drain. Finishes in well under 30 s.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Re-record the committed BENCH_serve.json serving baseline (longer run,
+# pinned knobs). Review the diff before committing.
+bless-serve:
+	OUT=BENCH_serve.json DURATION=5s CONCURRENCY=8 MIN_OK=24 MIN_MEAN_BATCH=1.2 \
+		./scripts/serve_smoke.sh
 
 # Re-record the committed baselines after an intentional accuracy or
 # performance change. Review the diff of BENCH_*.json before committing.

@@ -1,0 +1,377 @@
+// Command roaload drives a running roaserve instance and reports service
+// throughput, latency percentiles, and error rates as one JSON line.
+//
+// Usage:
+//
+//	roaload -addr 127.0.0.1:8092 -concurrency 8 -duration 5s
+//	roaload -addr-file /tmp/roaserve.addr -mode open -rate 40 -duration 5s
+//	roaload -addr :8092 -out BENCH_serve.json -min-ok 20 -min-mean-batch 1.5
+//
+// Modes:
+//
+//   - closed (default): -concurrency workers each issue requests
+//     back-to-back, so offered load tracks service capacity. This is the
+//     mode that demonstrates micro-batching: with concurrency >> 1 the
+//     server's mean batch size must exceed one.
+//   - open: requests arrive on a fixed -rate schedule regardless of
+//     completions, the way independent clients behave; overload shows up as
+//     429s rather than slowdown.
+//
+// The request mix is -distinct synthetic workloads drawn from the same
+// preset the server was started with (dimensions must match), each from a
+// seeded RNG, so runs are reproducible. The summary goes to stdout as one
+// JSON line (pipe through jq); -out additionally writes it indented to a
+// file for BENCH_*.json trajectory tracking. -min-ok and -min-mean-batch
+// turn the run into a gate: the exit status is non-zero if the service
+// completed fewer requests or coalesced less than required.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roarray/internal/serve"
+	"roarray/internal/testbed"
+)
+
+// Summary is the JSON bench line.
+type Summary struct {
+	Tool        string  `json:"tool"`
+	Mode        string  `json:"mode"`
+	Preset      string  `json:"preset"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RateRPS     float64 `json:"rateRps,omitempty"`
+	Distinct    int     `json:"distinct"`
+	Packets     int     `json:"packets"`
+	Seed        int64   `json:"seed"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+
+	DurationSeconds float64 `json:"durationSeconds"`
+	Requests        int64   `json:"requests"`
+	OK              int64   `json:"ok"`
+	Rejected429     int64   `json:"rejected429"`
+	Rejected503     int64   `json:"rejected503"`
+	Timeout504      int64   `json:"timeout504"`
+	TransportErrors int64   `json:"transportErrors"`
+	OtherErrors     int64   `json:"otherErrors"`
+
+	ThroughputRPS   float64 `json:"throughputRps"`
+	LatencyMsMean   float64 `json:"latencyMsMean"`
+	LatencyMsP50    float64 `json:"latencyMsP50"`
+	LatencyMsP95    float64 `json:"latencyMsP95"`
+	LatencyMsP99    float64 `json:"latencyMsP99"`
+	MeanBatchSize   float64 `json:"meanBatchSize"`
+	MeanQueueMillis float64 `json:"meanQueueMillis"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "roaload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("roaload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "target host:port of a running roaserve")
+	addrFile := fs.String("addr-file", "", "read the target address from this file (written by roaserve -addr-file)")
+	mode := fs.String("mode", "closed", `arrival model: "closed" (workers back-to-back) or "open" (fixed rate)`)
+	concurrency := fs.Int("concurrency", 8, "closed-loop worker count")
+	rate := fs.Float64("rate", 20, "open-loop arrival rate, requests/second")
+	duration := fs.Duration("duration", 5*time.Second, "how long to offer load")
+	maxRequests := fs.Int64("requests", 0, "stop after this many requests (0 = duration only)")
+	distinct := fs.Int("distinct", 8, "distinct request payloads in the mix")
+	packets := fs.Int("packets", 0, "CSI packets per link (0 = preset default)")
+	preset := fs.String("preset", "smoke", "workload preset; must match the server's")
+	seed := fs.Int64("seed", 1, "base RNG seed for the request mix")
+	deadlineMillis := fs.Float64("deadline-ms", 0, "per-request deadline sent in the body (0 = none)")
+	out := fs.String("out", "", "also write the summary, indented, to this file")
+	minOK := fs.Int64("min-ok", 0, "gate: fail unless at least this many requests completed")
+	minMeanBatch := fs.Float64("min-mean-batch", 0, "gate: fail unless the mean observed batch size reaches this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mode != "closed" && *mode != "open" {
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	target, err := resolveAddr(*addr, *addrFile)
+	if err != nil {
+		return err
+	}
+	url := "http://" + target + "/v1/localize"
+
+	ps, err := serve.LookupPreset(*preset)
+	if err != nil {
+		return err
+	}
+	npackets := *packets
+	if npackets <= 0 {
+		npackets = ps.Packets
+	}
+	fmt.Fprintf(stderr, "roaload: building %d request payloads (preset %s, %d packets)...\n",
+		*distinct, ps.Name, npackets)
+	reqs, _, err := ps.Deployment.BatchRequests(*distinct, npackets, testbed.ScenarioConfig{}, *seed)
+	if err != nil {
+		return fmt.Errorf("synthesize workload: %w", err)
+	}
+	bodies := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		w := serve.FromCore(req)
+		w.DeadlineMillis = *deadlineMillis
+		bodies[i], err = json.Marshal(w)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stderr, "roaload: %s-loop against %s for %v\n", *mode, target, *duration)
+	agg := newAggregator()
+	client := &http.Client{Timeout: 2 * *duration}
+	start := time.Now()
+	if *mode == "closed" {
+		runClosed(client, url, bodies, *concurrency, *duration, *maxRequests, agg)
+	} else {
+		runOpen(client, url, bodies, *rate, *duration, *maxRequests, agg)
+	}
+	elapsed := time.Since(start)
+
+	sum := agg.summarize(elapsed)
+	sum.Mode = *mode
+	sum.Preset = ps.Name
+	if *mode == "closed" {
+		sum.Concurrency = *concurrency
+	} else {
+		sum.RateRPS = *rate
+	}
+	sum.Distinct = *distinct
+	sum.Packets = npackets
+	sum.Seed = *seed
+
+	line, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, string(line))
+	if *out != "" {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, line, "", "  "); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *out, err)
+		}
+	}
+	if sum.TransportErrors > 0 {
+		return fmt.Errorf("%d transport errors against %s", sum.TransportErrors, target)
+	}
+	if sum.OtherErrors > 0 {
+		return fmt.Errorf("%d unexpected error statuses", sum.OtherErrors)
+	}
+	if sum.OK < *minOK {
+		return fmt.Errorf("gate: %d requests completed, need >= %d", sum.OK, *minOK)
+	}
+	if *minMeanBatch > 0 && sum.MeanBatchSize < *minMeanBatch {
+		return fmt.Errorf("gate: mean batch size %.2f, need >= %.2f", sum.MeanBatchSize, *minMeanBatch)
+	}
+	return nil
+}
+
+func resolveAddr(addr, addrFile string) (string, error) {
+	if addr != "" {
+		return addr, nil
+	}
+	if addrFile == "" {
+		return "", fmt.Errorf("need -addr or -addr-file")
+	}
+	raw, err := os.ReadFile(addrFile)
+	if err != nil {
+		return "", fmt.Errorf("read addr file: %w", err)
+	}
+	target := strings.TrimSpace(string(raw))
+	if target == "" {
+		return "", fmt.Errorf("addr file %s is empty", addrFile)
+	}
+	return target, nil
+}
+
+// aggregator accumulates per-request observations under one lock; load
+// worker goroutines are I/O-bound so contention is negligible.
+type aggregator struct {
+	mu        sync.Mutex
+	latencies []float64 // ms, successful requests only
+	batchSum  float64
+	queueSum  float64
+	ok        int64
+	r429      int64
+	r503      int64
+	t504      int64
+	transport int64
+	otherErrs int64
+	total     int64
+}
+
+func newAggregator() *aggregator { return &aggregator{} }
+
+func (a *aggregator) record(status int, latency time.Duration, resp *serve.Response) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total++
+	switch status {
+	case http.StatusOK:
+		a.ok++
+		a.latencies = append(a.latencies, latency.Seconds()*1e3)
+		if resp != nil {
+			a.batchSum += float64(resp.BatchSize)
+			a.queueSum += resp.QueueMillis
+		}
+	case http.StatusTooManyRequests:
+		a.r429++
+	case http.StatusServiceUnavailable:
+		a.r503++
+	case http.StatusGatewayTimeout:
+		a.t504++
+	case -1:
+		a.transport++
+	default:
+		a.otherErrs++
+	}
+}
+
+func (a *aggregator) summarize(elapsed time.Duration) Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sort.Float64s(a.latencies)
+	pct := func(p float64) float64 {
+		if len(a.latencies) == 0 {
+			return 0
+		}
+		idx := int(math.Ceil(p*float64(len(a.latencies)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return a.latencies[idx]
+	}
+	mean := 0.0
+	for _, l := range a.latencies {
+		mean += l
+	}
+	if len(a.latencies) > 0 {
+		mean /= float64(len(a.latencies))
+	}
+	sum := Summary{
+		Tool:            "roaload",
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        a.total,
+		OK:              a.ok,
+		Rejected429:     a.r429,
+		Rejected503:     a.r503,
+		Timeout504:      a.t504,
+		TransportErrors: a.transport,
+		OtherErrors:     a.otherErrs,
+		LatencyMsMean:   mean,
+		LatencyMsP50:    pct(0.50),
+		LatencyMsP95:    pct(0.95),
+		LatencyMsP99:    pct(0.99),
+	}
+	if elapsed > 0 {
+		sum.ThroughputRPS = float64(a.ok) / elapsed.Seconds()
+	}
+	if a.ok > 0 {
+		sum.MeanBatchSize = a.batchSum / float64(a.ok)
+		sum.MeanQueueMillis = a.queueSum / float64(a.ok)
+	}
+	return sum
+}
+
+// post issues one request and records its outcome.
+func post(client *http.Client, url string, body []byte, agg *aggregator) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		agg.record(-1, 0, nil)
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	latency := time.Since(t0)
+	if err != nil {
+		agg.record(-1, 0, nil)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		agg.record(resp.StatusCode, latency, nil)
+		return
+	}
+	var sr serve.Response
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		agg.record(-2, latency, nil)
+		return
+	}
+	agg.record(http.StatusOK, latency, &sr)
+}
+
+// runClosed: workers issue requests back-to-back until the deadline (or the
+// request cap) is reached.
+func runClosed(client *http.Client, url string, bodies [][]byte, workers int, d time.Duration, maxReqs int64, agg *aggregator) {
+	deadline := time.Now().Add(d)
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				n := issued.Add(1)
+				if maxReqs > 0 && n > maxReqs {
+					return
+				}
+				post(client, url, bodies[int(n-1)%len(bodies)], agg)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen: requests start on a fixed schedule regardless of completions;
+// each in its own goroutine so a slow server cannot throttle the arrival
+// process.
+func runOpen(client *http.Client, url string, bodies [][]byte, rate float64, d time.Duration, maxReqs int64, agg *aggregator) {
+	if rate <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(d)
+	var issued int64
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		if maxReqs > 0 && issued >= maxReqs {
+			break
+		}
+		body := bodies[int(issued)%len(bodies)]
+		issued++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(client, url, body, agg)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,176 @@
+// Command roaserve runs the online localization service: an HTTP/JSON front
+// end over the batch localization engine with dynamic micro-batching,
+// admission control, and graceful drain.
+//
+// Usage:
+//
+//	roaserve -addr 127.0.0.1:8092 -preset smoke
+//	roaserve -addr :8092 -preset paper -workers 8 -batch-size 16
+//	roaserve -addr 127.0.0.1:0 -addr-file /tmp/roaserve.addr   # scripts
+//	roaserve -addr :8092 -metrics-addr :8093 -trace spans.jsonl
+//
+// Endpoints:
+//
+//	POST /v1/localize — localize one request (see internal/serve.Request);
+//	                    concurrent requests are coalesced into micro-batches
+//	GET  /healthz     — liveness
+//	GET  /readyz      — readiness (503 once draining)
+//
+// Concurrent requests are collected into micro-batches (up to -batch-size,
+// waiting at most -batch-linger for the batch to fill) and flushed through
+// the engine together, so dictionary and factorization reuse amortizes
+// across clients. When the bounded admission queue (-queue-depth) is full,
+// requests are rejected immediately with 429 + Retry-After rather than
+// queueing without bound.
+//
+// On SIGINT/SIGTERM the server drains: admission stops (503), every accepted
+// request completes (bounded by -drain-timeout, after which in-flight work
+// is cancelled), and a JSON drain report goes to stderr before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"roarray/internal/core"
+	"roarray/internal/obs"
+	"roarray/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "roaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("roaserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8092", "listen address (host:0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts)")
+	preset := fs.String("preset", "smoke", `estimator preset: "paper" (faithful, slow) or "smoke" (small grids, fast)`)
+	workers := fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	batchSize := fs.Int("batch-size", 8, "max requests coalesced into one engine flush")
+	batchLinger := fs.Duration("batch-linger", 2*time.Millisecond, "max time the dispatcher waits for a batch to fill")
+	queueDepth := fs.Int("queue-depth", 64, "admission queue bound; overflow answers 429")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side per-request budget (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+	traceFile := fs.String("trace", "", "write a JSONL span trace of every request to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ps, err := serve.LookupPreset(*preset)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	cfg := ps.Estimator
+	cfg.Metrics = reg
+	est, err := core.NewEstimator(cfg)
+	if err != nil {
+		return fmt.Errorf("estimator: %w", err)
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	eng, err := core.NewEngine(est, w)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+	}
+	if *metricsAddr != "" {
+		dbg, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "roaserve: metrics on http://%s/metrics\n", dbg.Addr())
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine:         eng,
+		BatchSize:      *batchSize,
+		BatchLinger:    *batchLinger,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *requestTimeout,
+		Metrics:        reg,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write addr file: %w", err)
+		}
+	}
+	fmt.Fprintf(stderr, "roaserve: preset %s, %d workers, batch <= %d within %v, queue %d, serving on http://%s\n",
+		ps.Name, w, *batchSize, *batchLinger, *queueDepth, bound)
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-stop:
+		fmt.Fprintf(stderr, "roaserve: %v, draining (budget %v)\n", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain first so accepted work completes while late arrivals get clean
+	// 503s; only then close the listener and idle connections.
+	rep := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "roaserve: http shutdown: %v\n", err)
+	}
+
+	report := struct {
+		serve.DrainReport
+		ElapsedSeconds float64     `json:"elapsedSeconds"`
+		Stats          serve.Stats `json:"stats"`
+	}{DrainReport: rep, ElapsedSeconds: rep.Elapsed.Seconds(), Stats: srv.Stats()}
+	enc := json.NewEncoder(stderr)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if rep.Forced {
+		return fmt.Errorf("drain forced after %v with work still in flight", *drainTimeout)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"roarray/internal/wireless"
+)
+
+// ctxTestObservations builds a 2-AP observation set over the given room.
+func ctxTestObservations(room Rect) []APObservation {
+	target := Point{X: room.MinX + (room.MaxX-room.MinX)/3, Y: room.MinY + (room.MaxY-room.MinY)/2}
+	aps := []Point{{X: room.MinX, Y: room.MinY}, {X: room.MaxX, Y: room.MaxY}}
+	obs := make([]APObservation, len(aps))
+	for i, p := range aps {
+		obs[i] = APObservation{Pos: p, AxisDeg: 30, AoADeg: ExpectedAoA(p, 30, target), RSSIdBm: -50}
+	}
+	return obs
+}
+
+// TestLocalizeParallelCtxDeadCtxFailsFast: an already-dead context aborts the
+// search before any sweep, for serial and parallel strips alike, and the
+// error unwraps to the context's cause.
+func TestLocalizeParallelCtxDeadCtxFailsFast(t *testing.T) {
+	room := Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}
+	obs := ctxTestObservations(room)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+
+	for _, tc := range []struct {
+		name string
+		ctx  context.Context
+		want error
+	}{
+		{"canceled", canceled, context.Canceled},
+		{"expired", expired, context.DeadlineExceeded},
+	} {
+		for _, workers := range []int{1, 4} {
+			_, err := LocalizeParallelCtx(tc.ctx, obs, room, 0.1, workers)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s workers=%d: err = %v, want wrapped %v", tc.name, workers, err, tc.want)
+			}
+		}
+	}
+}
+
+// TestLocalizeParallelCtxAbortsMidSearch cancels a deliberately huge sweep
+// shortly after it starts and requires a prompt, wrapped return — the search
+// must stop within its strip, not finish it.
+func TestLocalizeParallelCtxAbortsMidSearch(t *testing.T) {
+	// ~8M grid points: several seconds of sweeping if cancellation fails.
+	room := Rect{MinX: 0, MinY: 0, MaxX: 140, MaxY: 140}
+	obs := ctxTestObservations(room)
+
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			_, err := LocalizeParallelCtx(ctx, obs, room, 0.05, workers)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want wrapped context.Canceled", workers, err)
+			}
+			if el := time.Since(start); el > 3*time.Second {
+				t.Fatalf("workers=%d: returned after %v, not promptly", workers, el)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: grid search ignored cancellation", workers)
+		}
+	}
+}
+
+// TestLocalizeParallelCtxLiveCtxMatchesPlain: threading a live context must
+// not perturb a single bit of the search result.
+func TestLocalizeParallelCtxLiveCtxMatchesPlain(t *testing.T) {
+	room := Rect{MinX: 0, MinY: 0, MaxX: 9.7, MaxY: 6.4}
+	obs := ctxTestObservations(room)
+	want, err := LocalizeParallel(obs, room, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LocalizeParallelCtx(context.Background(), obs, room, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.X) != math.Float64bits(want.X) ||
+		math.Float64bits(got.Y) != math.Float64bits(want.Y) {
+		t.Fatalf("ctx result %+v != plain %+v (bitwise)", got, want)
+	}
+}
+
+// TestEngineLocalizeCtxDeadline: a request whose deadline has already passed
+// must fail with a wrapped DeadlineExceeded and no position, never a stale
+// answer.
+func TestEngineLocalizeCtxDeadline(t *testing.T) {
+	est := engineTestEstimator(t)
+	eng, err := NewEngine(est, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := engineTestRequests(t, 1, 2, 930)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	res, err := eng.LocalizeCtx(ctx, reqs[0])
+	if res != nil {
+		t.Fatalf("expired request returned a result: %+v", res)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestLocalizeBatchEachCtxPerRequestCancel: one poisoned context in a batch
+// aborts only its own slot; the surviving slots are bit-identical to direct
+// Localize calls.
+func TestLocalizeBatchEachCtxPerRequestCancel(t *testing.T) {
+	est := engineTestEstimator(t)
+	eng, err := NewEngine(est, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := engineTestRequests(t, 3, 2, 940)
+
+	want, werrs := eng.LocalizeBatch(reqs)
+	for i := range reqs {
+		if werrs[i] != nil {
+			t.Fatal(werrs[i])
+		}
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctxs := []context.Context{nil, canceled, nil}
+	results, errs := eng.LocalizeBatchEachCtx(context.Background(), reqs, ctxs)
+	if !errors.Is(errs[1], context.Canceled) {
+		t.Fatalf("slot 1 err = %v, want wrapped context.Canceled", errs[1])
+	}
+	if results[1] != nil {
+		t.Fatalf("canceled slot returned a result: %+v", results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("slot %d: %v", i, errs[i])
+		}
+		if math.Float64bits(results[i].Position.X) != math.Float64bits(want[i].Position.X) ||
+			math.Float64bits(results[i].Position.Y) != math.Float64bits(want[i].Position.Y) {
+			t.Fatalf("slot %d position %+v != reference %+v (bitwise)", i, results[i].Position, want[i].Position)
+		}
+	}
+
+	// A mismatched context slice is an error for every slot, not a panic.
+	_, errs = eng.LocalizeBatchEachCtx(context.Background(), reqs, ctxs[:2])
+	for i, e := range errs {
+		if e == nil {
+			t.Fatalf("slot %d: mismatched reqCtxs length should error", i)
+		}
+	}
+}
+
+// TestLocalizeBatchPanicIsolation: a request that panics inside the pipeline
+// (here: a nil CSI pointer in its burst) is converted into that slot's error
+// while the rest of the batch completes.
+func TestLocalizeBatchPanicIsolation(t *testing.T) {
+	est := engineTestEstimator(t)
+	eng, err := NewEngine(est, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := engineTestRequests(t, 2, 2, 950)
+	poisoned := *reqs[0]
+	poisoned.Links = append([]LinkInput(nil), reqs[0].Links...)
+	poisoned.Links[0].Packets = append([]*wireless.CSI(nil), reqs[0].Links[0].Packets...)[:1]
+	poisoned.Links[0].Packets[0] = nil
+
+	results, errs := eng.LocalizeBatch([]*LocalizeRequest{&poisoned, reqs[1]})
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "panicked") {
+		t.Fatalf("poisoned slot err = %v, want recovered panic", errs[0])
+	}
+	if results[0] != nil {
+		t.Fatal("poisoned slot should have no result")
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy slot: %v", errs[1])
+	}
+	if !reqs[1].Bounds.Contains(results[1].Position) {
+		t.Fatalf("healthy slot position %+v outside bounds", results[1].Position)
+	}
+}

@@ -197,6 +197,12 @@ func (r *LocalizeRequest) validate() error {
 // smallest-ToA direct path) for one request link.
 func (e *Engine) estimateLink(ctx context.Context, in *LinkInput) LinkResult {
 	const fallbackAoA = 90.0
+	// A dead context is not a link failure: skip the work and let localize
+	// fail the whole request (degrading to broadside here would let a timed
+	// out request return a confidently wrong position).
+	if err := ctx.Err(); err != nil {
+		return LinkResult{AoADeg: fallbackAoA, Err: err}
+	}
 	if len(in.Packets) == 0 {
 		e.met.recordLinkFailure()
 		return LinkResult{AoADeg: fallbackAoA, Err: fmt.Errorf("core: link has no packets")}
@@ -231,9 +237,16 @@ func (e *Engine) LocalizeCtx(ctx context.Context, req *LocalizeRequest) (*Locali
 }
 
 // localize runs one request with the given degree of internal parallelism.
+// Cancellation contract: when ctx dies the call returns promptly with an
+// error wrapping ctx.Err() — before scheduling work if already dead, at the
+// next stage boundary during estimation, and within one grid column during
+// the Eq. 19 search. A timed-out request never yields a position.
 func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int) (*LocalizeResult, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: localize: %w", err)
 	}
 	ctx, sp := obs.StartSpan(ctx, "localize")
 	defer sp.End()
@@ -249,6 +262,11 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 		out.Links[i] = e.estimateLink(lctx, &req.Links[i])
 		lsp.End()
 	})
+	// Fail the request rather than localizing from whatever links finished
+	// before the context died.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: localize estimation aborted: %w", err)
+	}
 	aps := make([]APObservation, len(req.Links))
 	for i, in := range req.Links {
 		aps[i] = APObservation{
@@ -259,7 +277,7 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 		}
 	}
 	_, gsp := obs.StartSpan(ctx, "localize.grid")
-	pos, err := LocalizeParallel(aps, req.Bounds, req.Step, workers)
+	pos, err := LocalizeParallelCtx(ctx, aps, req.Bounds, req.Step, workers)
 	gsp.End()
 	if err != nil {
 		return nil, err
@@ -288,16 +306,54 @@ func (e *Engine) LocalizeBatch(reqs []*LocalizeRequest) (results []*LocalizeResu
 // parallel batch is race-safe; results remain bit-identical to the untraced
 // run because instrumentation never touches the numeric pipeline.
 func (e *Engine) LocalizeBatchCtx(ctx context.Context, reqs []*LocalizeRequest) (results []*LocalizeResult, errs []error) {
+	return e.LocalizeBatchEachCtx(ctx, reqs, nil)
+}
+
+// LocalizeBatchEachCtx is LocalizeBatchCtx with one context per request,
+// built for an online serving layer that coalesces independently-deadlined
+// requests into one flush:
+//
+//   - ctx governs the whole flush (and carries the tracer for the batch
+//     span); cancelling it aborts every request that has not finished.
+//   - reqCtxs[i], when non-nil, replaces ctx for request i — its deadline or
+//     cancellation aborts only that slot, which reports an error wrapping
+//     context.Canceled / context.DeadlineExceeded while the rest of the
+//     batch completes normally. reqCtxs may be nil (every request uses ctx);
+//     otherwise its length must match reqs.
+//
+// Each request additionally runs panic-isolated: a panic inside one
+// request's pipeline (e.g. a malformed CSI matrix) is recovered into that
+// slot's error instead of crashing the process — a batch server must not be
+// taken down by one poisoned request. Results for non-aborted, non-panicked
+// slots remain bit-identical to serial Localize calls.
+func (e *Engine) LocalizeBatchEachCtx(ctx context.Context, reqs []*LocalizeRequest, reqCtxs []context.Context) (results []*LocalizeResult, errs []error) {
 	ctx, sp := obs.StartSpan(ctx, "localize.batch")
 	defer sp.End()
 	results = make([]*LocalizeResult, len(reqs))
 	errs = make([]error, len(reqs))
+	if reqCtxs != nil && len(reqCtxs) != len(reqs) {
+		err := fmt.Errorf("core: %d request contexts for %d requests", len(reqCtxs), len(reqs))
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
 	e.Map(len(reqs), func(i int) {
 		// Each request runs its pipeline serially: the batch fan-out is the
 		// parallelism, and estimation is deterministic either way.
-		rctx, rsp := obs.StartSpanf(ctx, "localize.req%d", i)
+		rctx := ctx
+		if reqCtxs != nil && reqCtxs[i] != nil {
+			rctx = reqCtxs[i]
+		}
+		rctx, rsp := obs.StartSpanf(rctx, "localize.req%d", i)
+		defer rsp.End()
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = nil
+				errs[i] = fmt.Errorf("core: localize request %d panicked: %v", i, r)
+			}
+		}()
 		results[i], errs[i] = e.localize(rctx, reqs[i], 1)
-		rsp.End()
 	})
 	if e.met != nil {
 		e.met.batches.Inc()

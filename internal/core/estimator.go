@@ -222,6 +222,12 @@ func (e *Estimator) recordDictAccess(built bool) {
 // histogram. The time.Now pair is skipped entirely when metrics are
 // disabled, keeping the nil-registry path free of clock reads.
 func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
+	// Stage-boundary cancellation: a dead context skips the solve entirely.
+	// (The solver's iteration loop itself is not interruptible; the worst
+	// post-cancel overrun is one solve.)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	_, sp := obs.StartSpan(ctx, "estimate.solve")
 	var t0 time.Time
 	if e.met != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -69,7 +70,7 @@ func ExpectedAoA(pos Point, axisDeg float64, target Point) float64 {
 // uses a 10 cm grid; step <= 0 selects 0.1 m. RSSI weights are converted to
 // linear milliwatts.
 func Localize(obs []APObservation, bounds Rect, step float64) (Point, error) {
-	return LocalizeParallel(obs, bounds, step, 1)
+	return LocalizeParallelCtx(context.Background(), obs, bounds, step, 1)
 }
 
 // LocalizeParallel is Localize with the grid search fanned out over up to
@@ -78,6 +79,17 @@ func Localize(obs []APObservation, bounds Rect, step float64) (Point, error) {
 // are reduced in scan order with strict-less-than comparison, so the result
 // is bit-identical to the serial search for any worker count.
 func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers int) (Point, error) {
+	return LocalizeParallelCtx(context.Background(), obs, bounds, step, workers)
+}
+
+// LocalizeParallelCtx is LocalizeParallel under a context: the sweep checks
+// ctx once per grid column and aborts with a wrapped context error
+// (errors.Is-matchable against context.Canceled / context.DeadlineExceeded)
+// instead of finishing its strip, so a server can abandon a search the
+// moment a request deadline dies. A never-cancelled context changes nothing:
+// the scan order, tie-breaking, and result bits are identical to
+// LocalizeParallel.
+func LocalizeParallelCtx(ctx context.Context, obs []APObservation, bounds Rect, step float64, workers int) (Point, error) {
 	if len(obs) < 2 {
 		return Point{}, fmt.Errorf("core: localization needs >= 2 AP observations, got %d", len(obs))
 	}
@@ -96,11 +108,17 @@ func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers in
 
 	// scan evaluates the contiguous column strip [xLo, xHi) in the same
 	// nested x-then-y order as a full serial sweep, keeping the first strict
-	// minimum (earliest x, then earliest y, among equal costs).
-	scan := func(xLo, xHi int) (Point, float64) {
+	// minimum (earliest x, then earliest y, among equal costs). The context
+	// is polled once per column — cheap next to the ny*len(obs) trig
+	// evaluations a column costs — bounding the post-cancel overrun to a
+	// single column per worker.
+	scan := func(xLo, xHi int) (Point, float64, error) {
 		best := Point{X: bounds.MinX, Y: bounds.MinY}
 		bestCost := math.Inf(1)
 		for ix := xLo; ix < xHi; ix++ {
+			if err := ctx.Err(); err != nil {
+				return best, bestCost, fmt.Errorf("core: grid search aborted: %w", err)
+			}
 			x := bounds.MinX + float64(ix)*step
 			for iy := 0; iy < ny; iy++ {
 				p := Point{X: x, Y: bounds.MinY + float64(iy)*step}
@@ -115,20 +133,24 @@ func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers in
 				}
 			}
 		}
-		return best, bestCost
+		return best, bestCost, nil
 	}
 
 	if workers > nx {
 		workers = nx
 	}
 	if workers <= 1 {
-		best, _ := scan(0, nx)
+		best, _, err := scan(0, nx)
+		if err != nil {
+			return Point{}, err
+		}
 		return best, nil
 	}
 
 	type stripBest struct {
 		p    Point
 		cost float64
+		err  error
 	}
 	bests := make([]stripBest, workers)
 	var wg sync.WaitGroup
@@ -138,15 +160,22 @@ func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers in
 		wg.Add(1)
 		go func(slot, lo, hi int) {
 			defer wg.Done()
-			p, c := scan(lo, hi)
-			bests[slot] = stripBest{p: p, cost: c}
+			p, c, err := scan(lo, hi)
+			bests[slot] = stripBest{p: p, cost: c, err: err}
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	// Reduce strips in scan order: strict < reproduces the serial sweep's
-	// first-minimum tie-breaking exactly.
+	// first-minimum tie-breaking exactly. An aborted strip (all strips abort
+	// together — they watch the same context) invalidates the whole sweep.
 	best := bests[0]
+	if best.err != nil {
+		return Point{}, best.err
+	}
 	for _, b := range bests[1:] {
+		if b.err != nil {
+			return Point{}, b.err
+		}
 		if b.cost < best.cost {
 			best = b
 		}

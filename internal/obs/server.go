@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -55,5 +56,14 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 // Addr returns the bound listen address (host:port).
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately: the listener and every open
+// connection are closed, cutting off in-flight scrapes mid-response. Use
+// Shutdown for a graceful stop.
 func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes first (the port
+// is released and can be rebound immediately), then idle connections are
+// closed while in-flight requests — a /metrics scrape, a multi-second pprof
+// profile — run to completion, bounded by ctx. It returns ctx's error if the
+// deadline expires with requests still active.
+func (d *DebugServer) Shutdown(ctx context.Context) error { return d.srv.Shutdown(ctx) }

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"roarray/internal/core"
+)
+
+// pending is one admitted request waiting for its batch to flush.
+type pending struct {
+	req *core.LocalizeRequest
+	// ctx is the fully merged per-request context: HTTP request context,
+	// effective deadline, and the server hard-stop.
+	ctx context.Context
+	// done receives exactly one outcome; buffered so the dispatcher never
+	// blocks on a handler that is slow to collect.
+	done     chan outcome
+	enqueued time.Time
+}
+
+// outcome is the dispatcher's answer to one pending request.
+type outcome struct {
+	res       *core.LocalizeResult
+	err       error
+	batchSize int
+	dequeued  time.Time
+}
+
+// dispatch is the single batching goroutine: it blocks for the first queued
+// request, collects more until the batch cap or the linger deadline, flushes
+// the batch through the engine, and repeats until the queue closes (Drain).
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	for {
+		p, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch, closed := s.collect(p)
+		s.flush(batch)
+		if closed {
+			// Drain closed the queue mid-collect; take whatever arrived
+			// before the close and exit after flushing it.
+			for q := range s.queue {
+				s.flush(s.collectClosed(q))
+			}
+			return
+		}
+	}
+}
+
+// collect grows a batch from first until it reaches the size cap, the linger
+// timer fires, or the queue closes (reported via closed so dispatch can wind
+// down).
+func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
+	batch = append(batch, first)
+	if s.cfg.BatchSize == 1 {
+		return batch, false
+	}
+	linger := time.NewTimer(s.cfg.BatchLinger)
+	defer linger.Stop()
+	for len(batch) < s.cfg.BatchSize {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return batch, true
+			}
+			batch = append(batch, p)
+		case <-linger.C:
+			return batch, false
+		}
+	}
+	return batch, false
+}
+
+// collectClosed drains the already-closed queue into one final batch,
+// starting from first, bounded only by the batch size cap.
+func (s *Server) collectClosed(first *pending) []*pending {
+	batch := []*pending{first}
+	for len(batch) < s.cfg.BatchSize {
+		p, ok := <-s.queue
+		if !ok {
+			break
+		}
+		batch = append(batch, p)
+	}
+	return batch
+}
+
+// flush runs one micro-batch through the engine and answers every member.
+// Members whose context already died cost almost nothing: the engine rejects
+// them at entry before any estimation work.
+func (s *Server) flush(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	dequeued := time.Now()
+	s.batches.Add(1)
+	s.batched.Add(int64(len(batch)))
+	if s.met != nil {
+		s.met.batches.Inc()
+		s.met.batchSize.Observe(float64(len(batch)))
+		s.met.queueDepth.Set(float64(len(s.queue)))
+		for _, p := range batch {
+			s.met.queueWait.Observe(dequeued.Sub(p.enqueued).Seconds())
+		}
+	}
+
+	reqs := make([]*core.LocalizeRequest, len(batch))
+	ctxs := make([]context.Context, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+		ctxs[i] = p.ctx
+	}
+	results, errs := s.localizeBatch(reqs, ctxs)
+	for i, p := range batch {
+		p.done <- outcome{res: results[i], err: errs[i], batchSize: len(batch), dequeued: dequeued}
+	}
+}
+
+// localizeBatch wraps the engine call so that a panic escaping the engine
+// itself (not one isolated per-request inside it) still answers the whole
+// batch instead of killing the dispatcher.
+func (s *Server) localizeBatch(reqs []*core.LocalizeRequest, ctxs []context.Context) (results []*core.LocalizeResult, errs []error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			if s.met != nil {
+				s.met.panics.Inc()
+			}
+			results = make([]*core.LocalizeResult, len(reqs))
+			errs = make([]error, len(reqs))
+			for i := range errs {
+				errs[i] = fmt.Errorf("serve: batch flush panicked: %v", rec)
+			}
+		}
+	}()
+	return s.cfg.Engine.LocalizeBatchEachCtx(s.hardCtx, reqs, ctxs)
+}

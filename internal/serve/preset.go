@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+
+	"roarray/internal/core"
+	"roarray/internal/sparse"
+	"roarray/internal/spectra"
+	"roarray/internal/testbed"
+	"roarray/internal/wireless"
+)
+
+// Preset bundles an estimator configuration with the matching simulated
+// deployment, so a server and a load generator started with the same preset
+// name agree on CSI dimensions and workload synthesis. cmd/roaserve and
+// cmd/roaload both resolve presets from here.
+type Preset struct {
+	Name string
+	// Estimator parameterizes the server's shared estimator.
+	Estimator core.Config
+	// Deployment synthesizes wire requests whose dimensions match Estimator.
+	Deployment *testbed.Deployment
+	// Packets is the default CSI burst depth per link for generated
+	// workloads.
+	Packets int
+}
+
+// LookupPreset resolves a preset by name:
+//
+//   - "paper": the paper's working point — Intel 5300 radios (3 x 30 CSI),
+//     default dictionary grids, 6-AP 18 m x 12 m testbed, 15-packet bursts.
+//     Faithful, but a single solve costs seconds of CPU.
+//   - "smoke": a cut-down configuration for latency/throughput exercises and
+//     CI — 8 subcarriers, 19 x 8 dictionary, 3 APs, 2-packet bursts. Solves
+//     complete in tens of milliseconds while running the full pipeline.
+func LookupPreset(name string) (*Preset, error) {
+	switch name {
+	case "paper":
+		return &Preset{
+			Name: "paper",
+			Estimator: core.Config{
+				Array: wireless.Intel5300Array(),
+				OFDM:  wireless.Intel5300OFDM(),
+			},
+			Deployment: testbed.Default(),
+			Packets:    15,
+		}, nil
+	case "smoke":
+		ofdm := wireless.OFDM{NumSubcarriers: 8, SubcarrierSpacing: 4e6}
+		dep := testbed.Default()
+		dep.OFDM = ofdm
+		dep.APs = dep.APs[:3]
+		return &Preset{
+			Name: "smoke",
+			Estimator: core.Config{
+				Array:         wireless.Intel5300Array(),
+				OFDM:          ofdm,
+				ThetaGrid:     spectra.UniformGrid(0, 180, 19),
+				TauGrid:       spectra.UniformGrid(0, ofdm.MaxToA(), 8),
+				SolverOptions: []sparse.Option{sparse.WithMaxIters(60)},
+			},
+			Deployment: dep,
+			Packets:    2,
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown preset %q (want \"paper\" or \"smoke\")", name)
+	}
+}

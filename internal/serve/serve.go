@@ -1,0 +1,441 @@
+// Package serve is the online localization service: an HTTP/JSON front end
+// over core.Engine that coalesces concurrent requests into micro-batches the
+// way an inference server does.
+//
+// The request path is: admission control (a bounded queue; a full queue
+// answers 429 immediately instead of stacking goroutines), then dynamic
+// micro-batching (a dispatcher collects queued requests until either the
+// batch size cap or the max-linger deadline is hit, then flushes them
+// through Engine.LocalizeBatchEachCtx so dictionary and factorization reuse
+// amortizes across the batch), then per-request response fan-back. Each
+// request carries its own context — the HTTP request context bounded by the
+// per-request deadline and wired to the server's hard-stop — so a deadline
+// or disconnect aborts exactly one slot of a flush.
+//
+// Shutdown is two-phase: Drain stops admission (new requests get 503,
+// /readyz flips), lets the dispatcher flush everything already accepted, and
+// only cancels in-flight work if its context expires first. Every accepted
+// request always receives exactly one response.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roarray/internal/core"
+	"roarray/internal/obs"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine executes the localization work. Required.
+	Engine *core.Engine
+	// BatchSize caps how many requests one flush may coalesce; <= 0 selects
+	// 8. 1 disables batching.
+	BatchSize int
+	// BatchLinger is how long the dispatcher waits for a batch to fill after
+	// the first request arrives; <= 0 selects 2 ms. A lone request therefore
+	// costs at most one linger of added latency.
+	BatchLinger time.Duration
+	// QueueDepth bounds the admission queue; <= 0 selects 64. A full queue
+	// rejects with 429 + Retry-After instead of queueing unboundedly.
+	QueueDepth int
+	// RequestTimeout caps the server-side budget (queue + solve) of every
+	// request; 0 means no cap. A request's own deadlineMillis tightens but
+	// never loosens this.
+	RequestTimeout time.Duration
+	// Metrics receives serving telemetry (queue depth, batch sizes, latency
+	// histograms, admission counters). Nil disables recording.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, threads span tracing through every request and
+	// flush.
+	Tracer *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the server's lifetime counters.
+type Stats struct {
+	// Accepted counts requests admitted to the queue.
+	Accepted int64
+	// Finished counts accepted requests that received a response (success or
+	// failure). Accepted - Finished is the in-flight depth.
+	Finished int64
+	// Completed counts 200 responses; Failed counts accepted requests that
+	// ended in an error status (500/503/504).
+	Completed int64
+	Failed    int64
+	// RejectedQueueFull counts 429s; RejectedDraining counts 503s issued
+	// after drain began.
+	RejectedQueueFull int64
+	RejectedDraining  int64
+	// Batches counts flushes; Batched counts requests carried by them, so
+	// Batched/Batches is the mean coalescing factor.
+	Batches int64
+	Batched int64
+	// Panics counts recovered handler panics.
+	Panics int64
+}
+
+// DrainReport summarizes a graceful drain.
+type DrainReport struct {
+	// Pending is how many accepted requests were still unanswered when the
+	// drain began; Drained of them completed with 200 and Failed with an
+	// error status (nonzero only if the drain context expired and in-flight
+	// work was cancelled, or requests were already failing).
+	Pending int64
+	Drained int64
+	Failed  int64
+	// RejectedDraining counts requests turned away with 503 during (and
+	// after) the drain.
+	RejectedDraining int64
+	// Elapsed is the wall time the drain took.
+	Elapsed time.Duration
+	// Forced reports whether the drain context expired and in-flight work
+	// was hard-cancelled.
+	Forced bool
+}
+
+// metrics caches the obs handles; nil when Config.Metrics is nil.
+type metrics struct {
+	queueDepth   *obs.Gauge
+	batchSize    *obs.Histogram
+	queueWait    *obs.Histogram
+	e2e          *obs.Histogram
+	accepted     *obs.Counter
+	rejectedFull *obs.Counter
+	rejectedDrn  *obs.Counter
+	completed    *obs.Counter
+	failed       *obs.Counter
+	batches      *obs.Counter
+	panics       *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		queueDepth:   reg.Gauge("serve.queue_depth"),
+		batchSize:    reg.Histogram("serve.batch_size", obs.LinearBuckets(1, 1, 16)...),
+		queueWait:    reg.Histogram("serve.queue_wait.seconds", obs.ExpBuckets(0.0005, 2, 14)...),
+		e2e:          reg.Histogram("serve.e2e.seconds", obs.ExpBuckets(0.001, 2, 16)...),
+		accepted:     reg.Counter("serve.accepted_total"),
+		rejectedFull: reg.Counter("serve.rejected_queue_full_total"),
+		rejectedDrn:  reg.Counter("serve.rejected_draining_total"),
+		completed:    reg.Counter("serve.completed_total"),
+		failed:       reg.Counter("serve.failed_total"),
+		batches:      reg.Counter("serve.batches_total"),
+		panics:       reg.Counter("serve.panics_total"),
+	}
+}
+
+// Server is the online localization service. It implements http.Handler:
+//
+//	POST /v1/localize — localize one request (micro-batched server-side)
+//	GET  /healthz     — liveness (200 while the process runs)
+//	GET  /readyz      — readiness (503 once draining)
+//
+// Construct with New, serve with net/http, stop with Drain.
+type Server struct {
+	cfg                  Config
+	antennas, subcarrier int
+
+	queue chan *pending
+	met   *metrics
+	mux   *http.ServeMux
+
+	// admitMu guards the draining flag against the queue send: an admission
+	// holds the read side across its send so Drain's close(queue) (write
+	// side) cannot race a handler mid-send.
+	admitMu  sync.RWMutex
+	draining bool
+
+	dispatcherDone chan struct{}
+	hardCtx        context.Context
+	hardCancel     context.CancelFunc
+
+	accepted, finished atomic.Int64
+	completed, failed  atomic.Int64
+	rejectedFull       atomic.Int64
+	rejectedDraining   atomic.Int64
+	batches, batched   atomic.Int64
+	panics             atomic.Int64
+}
+
+// New validates cfg, starts the dispatcher, and returns the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: config needs an engine")
+	}
+	cfg = cfg.withDefaults()
+	est := cfg.Engine.Estimator().Config()
+	s := &Server{
+		cfg:            cfg,
+		antennas:       est.Array.NumAntennas,
+		subcarrier:     est.OFDM.NumSubcarriers,
+		queue:          make(chan *pending, cfg.QueueDepth),
+		met:            newMetrics(cfg.Metrics),
+		dispatcherDone: make(chan struct{}),
+	}
+	base := context.Background()
+	if cfg.Tracer != nil {
+		base = obs.WithTracer(base, cfg.Tracer)
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(base)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/localize", s.handleLocalize)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	go s.dispatch()
+	return s, nil
+}
+
+// ServeHTTP routes requests through the panic-isolating middleware: a
+// panicking handler answers 500 and increments serve.panics_total instead of
+// unwinding the connection goroutine.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			if s.met != nil {
+				s.met.panics.Inc()
+			}
+			// Best effort: if the handler already wrote headers this is a
+			// no-op on a broken response, which is all that can be done.
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:          s.accepted.Load(),
+		Finished:          s.finished.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		RejectedQueueFull: s.rejectedFull.Load(),
+		RejectedDraining:  s.rejectedDraining.Load(),
+		Batches:           s.batches.Load(),
+		Batched:           s.batched.Load(),
+		Panics:            s.panics.Load(),
+	}
+}
+
+// Drain gracefully stops the server: admission closes (new requests answer
+// 503 with Retry-After, /readyz flips to 503), every request already
+// accepted is flushed and answered, and the dispatcher exits. If ctx expires
+// first, in-flight work is hard-cancelled — engine calls abort at their next
+// stage boundary and the affected requests answer 503/504 — so Drain still
+// returns promptly with Forced set. Safe to call more than once; later calls
+// just wait for the dispatcher and report no pending work.
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	t0 := time.Now()
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+
+	rep := DrainReport{}
+	preFailed := s.failed.Load()
+	preCompleted := s.completed.Load()
+	if !already {
+		rep.Pending = s.accepted.Load() - s.finished.Load()
+		close(s.queue)
+	}
+
+	select {
+	case <-s.dispatcherDone:
+	case <-ctx.Done():
+		rep.Forced = true
+		s.hardCancel()
+		<-s.dispatcherDone
+	}
+	// Once the dispatcher has exited, every accepted request's outcome sits
+	// in its buffered done channel; give the handler goroutines a beat to
+	// consume them so the report balances (bounded in case a handler was
+	// killed mid-flight by its client).
+	for waited := time.Duration(0); s.finished.Load() < s.accepted.Load() && waited < time.Second; waited += 200 * time.Microsecond {
+		time.Sleep(200 * time.Microsecond)
+	}
+	rep.Drained = s.completed.Load() - preCompleted
+	rep.Failed = s.failed.Load() - preFailed
+	rep.RejectedDraining = s.rejectedDraining.Load()
+	rep.Elapsed = time.Since(t0)
+	return rep
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// maxBodyBytes bounds a request body; CSI bursts are a few KB per packet, so
+// 64 MiB accommodates hundreds of packets while stopping abuse.
+const maxBodyBytes = 64 << 20
+
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var wreq Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&wreq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	creq, err := wreq.ToCore()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if m, l := wreq.Dims(); m != s.antennas || l != s.subcarrier {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"CSI is %dx%d (antennas x subcarriers), server is configured for %dx%d",
+			m, l, s.antennas, s.subcarrier))
+		return
+	}
+
+	t0 := time.Now()
+	// Per-request context: the HTTP context (client disconnect), tightened
+	// by the effective deadline, and wired to the hard-stop so a forced
+	// drain aborts the slot mid-flush.
+	rctx := r.Context()
+	if s.cfg.Tracer != nil {
+		rctx = obs.WithTracer(rctx, s.cfg.Tracer)
+	}
+	timeout := s.cfg.RequestTimeout
+	if d := wreq.Deadline(); d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, timeout)
+		defer cancel()
+	}
+	pctx, pcancel := context.WithCancel(rctx)
+	defer pcancel()
+	stop := context.AfterFunc(s.hardCtx, pcancel)
+	defer stop()
+
+	p := &pending{req: creq, ctx: pctx, done: make(chan outcome, 1), enqueued: t0}
+
+	// Admission: the read lock pins the draining flag across the queue send
+	// so Drain cannot close the channel mid-send.
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		s.rejectedDraining.Add(1)
+		if s.met != nil {
+			s.met.rejectedDrn.Inc()
+		}
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.queue <- p:
+		s.admitMu.RUnlock()
+	default:
+		s.admitMu.RUnlock()
+		s.rejectedFull.Add(1)
+		if s.met != nil {
+			s.met.rejectedFull.Inc()
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	s.accepted.Add(1)
+	if s.met != nil {
+		s.met.accepted.Inc()
+		s.met.queueDepth.Set(float64(len(s.queue)))
+	}
+
+	// The dispatcher always answers every accepted request — on flush, on
+	// forced cancellation, or on drain — so this receive cannot leak.
+	out := <-p.done
+	s.finished.Add(1)
+	elapsed := time.Since(t0)
+	if s.met != nil {
+		s.met.e2e.Observe(elapsed.Seconds())
+	}
+	if out.err != nil {
+		s.failed.Add(1)
+		if s.met != nil {
+			s.met.failed.Inc()
+		}
+		switch {
+		case errors.Is(out.err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, out.err.Error())
+		case errors.Is(out.err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, out.err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, out.err.Error())
+		}
+		return
+	}
+	s.completed.Add(1)
+	if s.met != nil {
+		s.met.completed.Inc()
+	}
+	resp := Response{
+		X:           out.res.Position.X,
+		Y:           out.res.Position.Y,
+		Links:       make([]LinkResult, len(out.res.Links)),
+		BatchSize:   out.batchSize,
+		QueueMillis: out.dequeued.Sub(t0).Seconds() * 1e3,
+		TotalMillis: elapsed.Seconds() * 1e3,
+	}
+	for i, lr := range out.res.Links {
+		resp.Links[i].AoADeg = lr.AoADeg
+		if lr.Err != nil {
+			resp.Links[i].Error = lr.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // nothing to do about a client gone mid-write
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

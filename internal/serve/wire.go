@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"roarray/internal/core"
+	"roarray/internal/wireless"
+)
+
+// Request is the JSON body of POST /v1/localize: per-AP geometry, RSSI, and
+// raw CSI packet bursts, plus the position search region. It is the
+// over-the-wire twin of core.LocalizeRequest — a deployed client (a phone, a
+// robot) ships the CSI its NIC measured and the server runs the whole
+// sparse-recovery pipeline.
+type Request struct {
+	// Links carries one entry per AP; at least two are required.
+	Links []Link `json:"links"`
+	// Room is the position search region in meters.
+	Room Rect `json:"room"`
+	// GridStepMeters is the search grid step; <= 0 selects 0.1 m.
+	GridStepMeters float64 `json:"gridStepMeters,omitempty"`
+	// DeadlineMillis, when > 0, bounds the server-side time budget for this
+	// request (queueing + solving). The effective deadline is the tighter of
+	// this and the server's configured request timeout; exceeding it yields
+	// HTTP 504.
+	DeadlineMillis float64 `json:"deadlineMillis,omitempty"`
+}
+
+// Rect is the wire form of core.Rect.
+type Rect struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+// Link is one AP's contribution: array geometry, link RSSI, and the CSI
+// burst to estimate the direct path from.
+type Link struct {
+	// X, Y position the AP's array center in meters.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// AxisDeg is the array axis orientation (degrees CCW from +x).
+	AxisDeg float64 `json:"axisDeg"`
+	// RSSIdBm is the link RSSI (the Eq. 19 weight).
+	RSSIdBm float64 `json:"rssiDbm"`
+	// Packets is the CSI burst.
+	Packets []Packet `json:"packets"`
+}
+
+// Packet is one CSI measurement: Data[antenna][subcarrier] = [re, im].
+// Dimensions are implied by the nesting and must be rectangular; every
+// packet in a request must match the server's configured antenna and
+// subcarrier counts.
+type Packet struct {
+	Data [][][2]float64 `json:"data"`
+}
+
+// LinkResult is the per-AP outcome inside a Response.
+type LinkResult struct {
+	// AoADeg is the estimated direct-path AoA (broadside 90 when the link
+	// degraded).
+	AoADeg float64 `json:"aoaDeg"`
+	// Error is the per-link failure, if any; the request still succeeds.
+	Error string `json:"error,omitempty"`
+}
+
+// Response is the JSON body of a successful localization.
+type Response struct {
+	// X, Y is the Eq. 19 grid-search position estimate in meters.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Links holds per-AP results in request order.
+	Links []LinkResult `json:"links"`
+	// BatchSize is the number of requests in the micro-batch this request
+	// was flushed with — the server-side coalescing factor.
+	BatchSize int `json:"batchSize"`
+	// QueueMillis is the time this request waited in the admission queue
+	// before its batch was flushed.
+	QueueMillis float64 `json:"queueMillis"`
+	// TotalMillis is the server-side time from admission to response.
+	TotalMillis float64 `json:"totalMillis"`
+}
+
+// ErrorResponse is the JSON body of every non-200 status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Deadline returns the request's own time budget (0 when unset).
+func (r *Request) Deadline() time.Duration {
+	if r.DeadlineMillis <= 0 {
+		return 0
+	}
+	return time.Duration(r.DeadlineMillis * float64(time.Millisecond))
+}
+
+// ToCore validates the wire request and converts it into a
+// core.LocalizeRequest. Every packet must be a rectangular complex matrix
+// with the same dimensions as the first packet of the first link.
+func (r *Request) ToCore() (*core.LocalizeRequest, error) {
+	if len(r.Links) < 2 {
+		return nil, fmt.Errorf("serve: request needs >= 2 links, got %d", len(r.Links))
+	}
+	if r.Room.MaxX <= r.Room.MinX || r.Room.MaxY <= r.Room.MinY {
+		return nil, fmt.Errorf("serve: empty room %+v", r.Room)
+	}
+	var m, l int
+	out := &core.LocalizeRequest{
+		Links: make([]core.LinkInput, len(r.Links)),
+		Bounds: core.Rect{
+			MinX: r.Room.MinX, MinY: r.Room.MinY,
+			MaxX: r.Room.MaxX, MaxY: r.Room.MaxY,
+		},
+		Step: r.GridStepMeters,
+	}
+	for i, link := range r.Links {
+		if len(link.Packets) == 0 {
+			return nil, fmt.Errorf("serve: link %d has no packets", i)
+		}
+		burst := make([]*wireless.CSI, len(link.Packets))
+		for p, pkt := range link.Packets {
+			csi, err := pkt.toCSI()
+			if err != nil {
+				return nil, fmt.Errorf("serve: link %d packet %d: %w", i, p, err)
+			}
+			if m == 0 {
+				m, l = csi.NumAntennas, csi.NumSubcarriers
+			} else if csi.NumAntennas != m || csi.NumSubcarriers != l {
+				return nil, fmt.Errorf("serve: link %d packet %d is %dx%d, request started %dx%d",
+					i, p, csi.NumAntennas, csi.NumSubcarriers, m, l)
+			}
+			burst[p] = csi
+		}
+		out.Links[i] = core.LinkInput{
+			Pos:     core.Point{X: link.X, Y: link.Y},
+			AxisDeg: link.AxisDeg,
+			RSSIdBm: link.RSSIdBm,
+			Packets: burst,
+		}
+	}
+	return out, nil
+}
+
+// Dims returns the antenna and subcarrier counts of the request's first
+// packet (0, 0 when there is none). Call after ToCore has validated
+// rectangularity.
+func (r *Request) Dims() (antennas, subcarriers int) {
+	if len(r.Links) == 0 || len(r.Links[0].Packets) == 0 {
+		return 0, 0
+	}
+	d := r.Links[0].Packets[0].Data
+	if len(d) == 0 {
+		return 0, 0
+	}
+	return len(d), len(d[0])
+}
+
+func (p *Packet) toCSI() (*wireless.CSI, error) {
+	m := len(p.Data)
+	if m == 0 {
+		return nil, fmt.Errorf("packet has no antennas")
+	}
+	l := len(p.Data[0])
+	if l == 0 {
+		return nil, fmt.Errorf("packet has no subcarriers")
+	}
+	csi := wireless.NewCSI(m, l)
+	for a, row := range p.Data {
+		if len(row) != l {
+			return nil, fmt.Errorf("antenna %d has %d subcarriers, antenna 0 has %d", a, len(row), l)
+		}
+		for s, v := range row {
+			csi.Data[a][s] = complex(v[0], v[1])
+		}
+	}
+	return csi, nil
+}
+
+// FromCore converts a core request into its wire form — the encoder load
+// generators and tests use so that what travels over HTTP is exactly what a
+// direct Engine call would see.
+func FromCore(req *core.LocalizeRequest) *Request {
+	out := &Request{
+		Links: make([]Link, len(req.Links)),
+		Room: Rect{
+			MinX: req.Bounds.MinX, MinY: req.Bounds.MinY,
+			MaxX: req.Bounds.MaxX, MaxY: req.Bounds.MaxY,
+		},
+		GridStepMeters: req.Step,
+	}
+	for i, in := range req.Links {
+		packets := make([]Packet, len(in.Packets))
+		for p, csi := range in.Packets {
+			data := make([][][2]float64, csi.NumAntennas)
+			for a := 0; a < csi.NumAntennas; a++ {
+				row := make([][2]float64, csi.NumSubcarriers)
+				for s := 0; s < csi.NumSubcarriers; s++ {
+					v := csi.Data[a][s]
+					row[s] = [2]float64{real(v), imag(v)}
+				}
+				data[a] = row
+			}
+			packets[p] = Packet{Data: data}
+		}
+		out.Links[i] = Link{
+			X:       in.Pos.X,
+			Y:       in.Pos.Y,
+			AxisDeg: in.AxisDeg,
+			RSSIdBm: in.RSSIdBm,
+			Packets: packets,
+		}
+	}
+	return out
+}

@@ -207,6 +207,13 @@ func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers in
 	return core.LocalizeParallel(obs, bounds, step, workers)
 }
 
+// LocalizeParallelCtx is LocalizeParallel under a context: the sweep aborts
+// within one grid column of ctx dying, returning an error that wraps
+// context.Canceled / context.DeadlineExceeded.
+func LocalizeParallelCtx(ctx context.Context, obs []APObservation, bounds Rect, step float64, workers int) (Point, error) {
+	return core.LocalizeParallelCtx(ctx, obs, bounds, step, workers)
+}
+
 // NewEngine returns a batch localization engine sharing est across a pool of
 // workers (workers <= 0 selects runtime.GOMAXPROCS).
 func NewEngine(est *Estimator, workers int) (*Engine, error) {
