@@ -9,9 +9,9 @@ GO ?= go
 # so the full -race sweep stays affordable.
 RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/...
 
-.PHONY: check vet build test race bench profile experiments quality-gate bless-quality serve-smoke bless-serve
+.PHONY: check vet build test race bench profile experiments quality-gate bless-quality serve-smoke bless-serve fuzz-smoke fault-gate bless-fault
 
-check: vet build test race quality-gate serve-smoke
+check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,30 @@ QUALITY_FLAGS := -seed 5 -locations 2 -packets 4 -aps 4
 quality-gate:
 	$(GO) run ./cmd/roabench -fig all $(QUALITY_FLAGS) -artifact quality_current.json > /dev/null
 	$(GO) run ./cmd/roabench -compare BENCH_quality.json -artifact quality_current.json
+
+# Short fuzzing pass over the three attacker-facing decoders: the serve
+# wire format, the CSI admission sanitizer, and the quality artifact
+# loader. ~10 s per target; the committed corpora under testdata/fuzz/
+# also run as plain unit tests in `make test`. Go allows one -fuzz pattern
+# per invocation, hence three lines.
+FUZZ_TIME := 10s
+fuzz-smoke:
+	$(GO) test ./internal/serve/ -run XXX -fuzz '^FuzzRequestDecode$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/core/ -run XXX -fuzz '^FuzzSanitizeBurst$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/quality/ -run XXX -fuzz '^FuzzReadArtifact$$' -fuzztime $(FUZZ_TIME)
+
+# Graceful-degradation regression gate: re-run the fault-injection sweep at
+# the baseline's recorded settings and compare against BENCH_fault.json.
+# Every fault mode must keep returning positions with bounded median error.
+# fault_current.json is gitignored.
+fault-gate:
+	$(GO) run ./cmd/roabench -fault $(QUALITY_FLAGS) -artifact fault_current.json > /dev/null
+	$(GO) run ./cmd/roabench -compare BENCH_fault.json -artifact fault_current.json
+
+# Re-record the committed BENCH_fault.json degradation baseline. Review the
+# diff before committing.
+bless-fault:
+	$(GO) run ./cmd/roabench -fault $(QUALITY_FLAGS) -artifact BENCH_fault.json > /dev/null
 
 # End-to-end smoke of the serving stack (roaserve + roaload over HTTP):
 # boots the server on a free port, offers closed-loop load, gates on

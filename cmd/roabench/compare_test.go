@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roarray/internal/quality"
+)
+
+// writeCompareArtifact serializes an artifact to dir/name and returns the
+// path.
+func writeCompareArtifact(t *testing.T, dir, name string, a *quality.Artifact) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// gateArtifact builds a minimal valid artifact with one gated aggregate.
+func gateArtifact(median float64) *quality.Artifact {
+	return &quality.Artifact{
+		SchemaVersion: quality.SchemaVersion,
+		Tool:          "roabench-test",
+		Seed:          1,
+		Experiments: []*quality.Experiment{{
+			ID:     "2",
+			Params: map[string]int64{"seed": 1},
+			Aggregates: []quality.Aggregate{{
+				Name: "aoa_err_deg", Unit: "deg", N: 4,
+				Mean: median, Median: median, P90: median, P95: median,
+				Tol: quality.Tolerance{Abs: 0.5},
+			}},
+		}},
+	}
+}
+
+// TestCompareMissingBaseline: a baseline path that does not exist must fail
+// the gate with a diagnostic naming the baseline side, not crash or pass
+// vacuously.
+func TestCompareMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeCompareArtifact(t, dir, "cur.json", gateArtifact(1.0))
+	err := run(io.Discard, io.Discard, []string{"-compare", filepath.Join(dir, "nope.json"), "-artifact", cur})
+	if err == nil {
+		t.Fatal("missing baseline file should fail the gate")
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("error %q does not identify the baseline side", err)
+	}
+}
+
+// TestCompareMissingCurrent: same for the artifact under test.
+func TestCompareMissingCurrent(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCompareArtifact(t, dir, "base.json", gateArtifact(1.0))
+	err := run(io.Discard, io.Discard, []string{"-compare", base, "-artifact", filepath.Join(dir, "nope.json")})
+	if err == nil {
+		t.Fatal("missing current artifact should fail the gate")
+	}
+	if !strings.Contains(err.Error(), "current") {
+		t.Fatalf("error %q does not identify the current side", err)
+	}
+}
+
+// TestCompareSchemaVersionMismatch: an artifact written by a future schema
+// must be rejected at load, never mis-diffed.
+func TestCompareSchemaVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeCompareArtifact(t, dir, "cur.json", gateArtifact(1.0))
+	future := filepath.Join(dir, "future.json")
+	body := `{"schemaVersion":99,"experiments":[]}`
+	if err := os.WriteFile(future, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(io.Discard, io.Discard, []string{"-compare", future, "-artifact", cur})
+	if err == nil {
+		t.Fatal("schema version 99 baseline should fail to load")
+	}
+	if !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("error %q does not mention the schema mismatch", err)
+	}
+}
+
+// TestCompareEmptyTrialSet: a current artifact with no experiments at all
+// fails the gate as MISSING (the baseline's gated metrics are gone) —
+// silence is a regression, not a pass.
+func TestCompareEmptyTrialSet(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCompareArtifact(t, dir, "base.json", gateArtifact(1.0))
+	empty := writeCompareArtifact(t, dir, "empty.json", &quality.Artifact{
+		SchemaVersion: quality.SchemaVersion,
+		Experiments:   []*quality.Experiment{},
+	})
+	var out bytes.Buffer
+	err := run(&out, io.Discard, []string{"-compare", base, "-artifact", empty})
+	if err == nil {
+		t.Fatal("empty current artifact should fail the gate")
+	}
+	if !strings.Contains(out.String(), string(quality.StatusMissing)) {
+		t.Fatalf("report does not flag the gated metric as missing:\n%s", out.String())
+	}
+}
+
+// TestCompareBothEmpty: two empty artifacts have nothing to gate; the
+// comparison is vacuous and must pass (this is the state of a brand-new
+// baseline before any experiment lands).
+func TestCompareBothEmpty(t *testing.T) {
+	dir := t.TempDir()
+	a := writeCompareArtifact(t, dir, "a.json", &quality.Artifact{SchemaVersion: quality.SchemaVersion})
+	b := writeCompareArtifact(t, dir, "b.json", &quality.Artifact{SchemaVersion: quality.SchemaVersion})
+	if err := run(io.Discard, io.Discard, []string{"-compare", a, "-artifact", b}); err != nil {
+		t.Fatalf("comparing two empty artifacts should pass vacuously: %v", err)
+	}
+}
+
+// TestCompareRegressionFails: sanity check that the gate still has teeth —
+// a median outside the baseline's band returns an error naming the
+// baseline file.
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCompareArtifact(t, dir, "base.json", gateArtifact(1.0))
+	bad := writeCompareArtifact(t, dir, "bad.json", gateArtifact(9.0))
+	var out bytes.Buffer
+	err := run(&out, io.Discard, []string{"-compare", base, "-artifact", bad})
+	if err == nil {
+		t.Fatal("regressed median should fail the gate")
+	}
+	if !strings.Contains(out.String(), string(quality.StatusFail)) {
+		t.Fatalf("report does not contain a FAIL row:\n%s", out.String())
+	}
+}

@@ -69,6 +69,7 @@ func run(stdout, stderr io.Writer, args []string) error {
 	iters := fs.Int("iters", 0, "solver iteration cap (0 = default 150)")
 	parallel := fs.Int("parallel", 1, "estimation worker count (0 or negative = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "run the batch localization benchmark over this many requests instead of figures")
+	faultSweep := fs.Bool("fault", false, "run the fault-injection degradation sweep instead of figures (artifact gates against BENCH_fault.json)")
 	jsonOut := fs.Bool("json", false, "emit the batch benchmark result as one JSON line on stdout")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics server up this long after the workload finishes")
@@ -132,6 +133,13 @@ func run(stdout, stderr io.Writer, args []string) error {
 				time.Sleep(*metricsHold)
 			}()
 		}
+	}
+
+	if *faultSweep {
+		if err := experiments.RunFaultSweep(stdout, opt); err != nil {
+			return err
+		}
+		return writeArtifact(stderr, *artifact, opt, *seed)
 	}
 
 	if *batch > 0 {

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"roarray/internal/sparse"
+	"roarray/internal/spectra"
 	"roarray/internal/wireless"
 )
 
@@ -170,22 +172,42 @@ func TestLocalizeBatchEachCtxPerRequestCancel(t *testing.T) {
 	}
 }
 
-// TestLocalizeBatchPanicIsolation: a request that panics inside the pipeline
-// (here: a nil CSI pointer in its burst) is converted into that slot's error
-// while the rest of the batch completes.
+// TestLocalizeBatchPanicIsolation: a panic inside one request's pipeline
+// (here: a solver iteration hook that blows up during the first request's
+// first solve) is converted into that slot's error while the rest of the
+// batch completes.
 func TestLocalizeBatchPanicIsolation(t *testing.T) {
-	est := engineTestEstimator(t)
-	eng, err := NewEngine(est, 2)
+	ofdm := wireless.Intel5300OFDM()
+	solves := 0
+	est, err := NewEstimator(Config{
+		Array:     wireless.Intel5300Array(),
+		OFDM:      ofdm,
+		ThetaGrid: spectra.UniformGrid(0, 180, 31),
+		TauGrid:   spectra.UniformGrid(0, ofdm.MaxToA(), 10),
+		SolverOptions: []sparse.Option{
+			sparse.WithMaxIters(60),
+			sparse.WithIterationHook(func(iter int, mags []float64) {
+				if iter == 1 {
+					solves++
+				}
+				if solves == 1 {
+					panic("injected solver panic")
+				}
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker: requests run in order, so the first solve — and the panic —
+	// deterministically belongs to slot 0.
+	eng, err := NewEngine(est, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	reqs := engineTestRequests(t, 2, 2, 950)
-	poisoned := *reqs[0]
-	poisoned.Links = append([]LinkInput(nil), reqs[0].Links...)
-	poisoned.Links[0].Packets = append([]*wireless.CSI(nil), reqs[0].Links[0].Packets...)[:1]
-	poisoned.Links[0].Packets[0] = nil
 
-	results, errs := eng.LocalizeBatch([]*LocalizeRequest{&poisoned, reqs[1]})
+	results, errs := eng.LocalizeBatch(reqs)
 	if errs[0] == nil || !strings.Contains(errs[0].Error(), "panicked") {
 		t.Fatalf("poisoned slot err = %v, want recovered panic", errs[0])
 	}
@@ -197,5 +219,49 @@ func TestLocalizeBatchPanicIsolation(t *testing.T) {
 	}
 	if !reqs[1].Bounds.Contains(results[1].Position) {
 		t.Fatalf("healthy slot position %+v outside bounds", results[1].Position)
+	}
+}
+
+// TestLocalizeNilPacketDegrades: a nil CSI pointer in one link's burst — the
+// input that used to panic its whole request — is now caught by admission
+// sanitization: the request succeeds, the bad link degrades to broadside at
+// floor confidence, and the healthy links carry the position.
+func TestLocalizeNilPacketDegrades(t *testing.T) {
+	est := engineTestEstimator(t)
+	eng, err := NewEngine(est, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := engineTestRequests(t, 1, 2, 950)[0]
+	req.Links[0].Packets = append([]*wireless.CSI(nil), req.Links[0].Packets...)[:1]
+	req.Links[0].Packets[0] = nil
+
+	res, err := eng.Localize(req)
+	if err != nil {
+		t.Fatalf("nil packet should degrade, not fail: %v", err)
+	}
+	if !req.Bounds.Contains(res.Position) {
+		t.Fatalf("position %+v outside bounds", res.Position)
+	}
+	bad := res.Links[0]
+	if !errors.Is(bad.Err, ErrNoUsablePackets) {
+		t.Fatalf("bad link err = %v, want ErrNoUsablePackets", bad.Err)
+	}
+	if bad.AoADeg != 90 {
+		t.Fatalf("bad link AoA %v, want broadside 90", bad.AoADeg)
+	}
+	if bad.Confidence <= 0 || bad.Confidence > 0.1 {
+		t.Fatalf("bad link confidence %v, want floor", bad.Confidence)
+	}
+	if bad.Sanitize == nil || bad.Sanitize.DroppedDimension != 1 {
+		t.Fatalf("bad link sanitize report %+v", bad.Sanitize)
+	}
+	for i, l := range res.Links[1:] {
+		if l.Err != nil {
+			t.Fatalf("healthy link %d: %v", i+1, l.Err)
+		}
+		if l.Confidence != 0 || l.Sanitize != nil {
+			t.Fatalf("healthy link %d flagged: conf %v report %+v", i+1, l.Confidence, l.Sanitize)
+		}
 	}
 }

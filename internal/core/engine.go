@@ -169,6 +169,14 @@ type LinkResult struct {
 	Peak spectra.Peak
 	// Err reports a per-link estimation failure.
 	Err error
+	// Confidence is the fusion weight multiplier assigned when admission
+	// sanitization flagged this link faulty (dropped/repaired packets or
+	// dead antennas); it stays zero — meaning full weight — on clean links,
+	// so fault-free results are unchanged.
+	Confidence float64
+	// Sanitize reports what admission sanitization did to the link's packet
+	// burst; nil when the burst was clean.
+	Sanitize *BurstReport
 }
 
 // LocalizeResult is the outcome of one request.
@@ -193,8 +201,13 @@ func (r *LocalizeRequest) validate() error {
 	return nil
 }
 
-// estimateLink runs the single-link pipeline (fused joint spectrum, then
-// smallest-ToA direct path) for one request link.
+// estimateLink runs the single-link pipeline for one request link: admission
+// sanitization (reject/repair broken packets), fused joint spectrum, then
+// smallest-ToA direct path. A link whose burst the sanitizer had to touch is
+// flagged with a reduced Confidence so the Eq. 19 fusion down-weights it; a
+// link the sanitizer rejects outright (or that fails estimation after being
+// flagged) degrades to broadside at the confidence floor instead of poisoning
+// the position with full weight.
 func (e *Engine) estimateLink(ctx context.Context, in *LinkInput) LinkResult {
 	const fallbackAoA = 90.0
 	// A dead context is not a link failure: skip the work and let localize
@@ -207,12 +220,30 @@ func (e *Engine) estimateLink(ctx context.Context, in *LinkInput) LinkResult {
 		e.met.recordLinkFailure()
 		return LinkResult{AoADeg: fallbackAoA, Err: fmt.Errorf("core: link has no packets")}
 	}
-	peak, err := e.est.EstimateDirectAoACtx(ctx, in.Packets)
+	cfg := e.est.Config()
+	packets, rep, serr := SanitizeBurst(in.Packets, cfg.Array.NumAntennas, cfg.OFDM.NumSubcarriers)
+	e.met.recordSanitize(rep)
+	if serr != nil {
+		e.met.recordLinkFailure()
+		return LinkResult{AoADeg: fallbackAoA, Err: serr, Confidence: confidenceFloor, Sanitize: &rep}
+	}
+	var conf float64
+	var report *BurstReport
+	if !rep.Clean() {
+		conf = rep.Confidence()
+		report = &rep
+	}
+	peak, err := e.est.EstimateDirectAoACtx(ctx, packets)
 	if err != nil {
 		e.met.recordLinkFailure()
+		if report != nil {
+			// Estimation failed on a burst already flagged faulty: keep the
+			// broadside fallback but at the floor weight.
+			return LinkResult{AoADeg: fallbackAoA, Err: err, Confidence: confidenceFloor, Sanitize: report}
+		}
 		return LinkResult{AoADeg: fallbackAoA, Err: err}
 	}
-	return LinkResult{AoADeg: peak.ThetaDeg, Peak: peak}
+	return LinkResult{AoADeg: peak.ThetaDeg, Peak: peak, Confidence: conf, Sanitize: report}
 }
 
 func (m *engineMetrics) recordLinkFailure() {
@@ -220,6 +251,24 @@ func (m *engineMetrics) recordLinkFailure() {
 		return
 	}
 	m.linkFailures.Inc()
+}
+
+// recordSanitize notes one burst's sanitization outcome. Clean bursts cost a
+// nil check and a comparison; flagged ones bump the admission counters.
+func (m *engineMetrics) recordSanitize(rep BurstReport) {
+	if m == nil || rep.Clean() {
+		return
+	}
+	m.reg.Counter("engine.sanitize.flagged_links_total").Inc()
+	if n := rep.DroppedDimension + rep.DroppedNonFinite; n > 0 {
+		m.reg.Counter("engine.sanitize.dropped_packets_total").Add(int64(n))
+	}
+	if rep.Repaired > 0 {
+		m.reg.Counter("engine.sanitize.repaired_packets_total").Add(int64(rep.Repaired))
+	}
+	if rep.DeadAntennas > 0 {
+		m.reg.Counter("engine.sanitize.dead_antennas_total").Add(int64(rep.DeadAntennas))
+	}
 }
 
 // Localize processes one request, fanning the per-AP estimation over the
@@ -270,10 +319,11 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 	aps := make([]APObservation, len(req.Links))
 	for i, in := range req.Links {
 		aps[i] = APObservation{
-			Pos:     in.Pos,
-			AxisDeg: in.AxisDeg,
-			AoADeg:  out.Links[i].AoADeg,
-			RSSIdBm: in.RSSIdBm,
+			Pos:        in.Pos,
+			AxisDeg:    in.AxisDeg,
+			AoADeg:     out.Links[i].AoADeg,
+			RSSIdBm:    in.RSSIdBm,
+			Confidence: out.Links[i].Confidence,
 		}
 	}
 	_, gsp := obs.StartSpan(ctx, "localize.grid")

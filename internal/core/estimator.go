@@ -47,6 +47,15 @@ type Config struct {
 	// SolverOptions are passed to the underlying sparse solvers (method,
 	// iteration caps, hooks, ...).
 	SolverOptions []sparse.Option
+	// Fallback enables the solver fallback chain: when the primary solve
+	// errors or exhausts its iteration budget without converging, the
+	// estimator retries on a FISTA solver sharing the same dictionary and,
+	// failing that, falls back to greedy OMP on the dominant snapshot —
+	// trading optimality for a usable spectrum. The engaged solver is
+	// recorded in Result.Solver and the core.solve.fallback_* counters.
+	// Default false: fallback changes which result a non-converged solve
+	// returns, so the bit-reproducible evaluation pipeline leaves it off.
+	Fallback bool
 	// Metrics, when non-nil, receives estimation telemetry: dictionary
 	// build/cache-hit counters, solve latency histograms, and — via
 	// sparse.WithMetrics, which is appended to SolverOptions automatically —
@@ -110,6 +119,15 @@ type Estimator struct {
 	jointOnce   sync.Once
 	jointSolver *sparse.Solver
 	jointErr    error
+
+	// Fallback solvers (FISTA over the same dictionaries), built lazily the
+	// first time the chain engages so fault-free runs never pay for them.
+	aoaFBOnce   sync.Once
+	aoaFB       *sparse.Solver
+	aoaFBErr    error
+	jointFBOnce sync.Once
+	jointFB     *sparse.Solver
+	jointFBErr  error
 }
 
 // estimatorMetrics caches the estimator's metric handles, resolved once at
@@ -120,6 +138,10 @@ type estimatorMetrics struct {
 	dictBuilds   *obs.Counter
 	dictHits     *obs.Counter
 	solveSeconds *obs.Histogram
+
+	fallbackEngaged *obs.Counter // primary solve failed/non-converged, chain entered
+	fallbackFISTA   *obs.Counter // FISTA retry converged and was used
+	fallbackOMP     *obs.Counter // greedy OMP terminal fallback was used
 }
 
 func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
@@ -127,9 +149,12 @@ func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
 		return nil
 	}
 	return &estimatorMetrics{
-		dictBuilds:   reg.Counter("core.dict.builds_total"),
-		dictHits:     reg.Counter("core.dict.cache_hits_total"),
-		solveSeconds: reg.Histogram("core.solve.seconds", obs.ExpBuckets(0.0005, 2, 16)...),
+		dictBuilds:      reg.Counter("core.dict.builds_total"),
+		dictHits:        reg.Counter("core.dict.cache_hits_total"),
+		solveSeconds:    reg.Histogram("core.solve.seconds", obs.ExpBuckets(0.0005, 2, 16)...),
+		fallbackEngaged: reg.Counter("core.solve.fallback_engaged_total"),
+		fallbackFISTA:   reg.Counter("core.solve.fallback_fista_total"),
+		fallbackOMP:     reg.Counter("core.solve.fallback_omp_total"),
 	}
 }
 
@@ -220,8 +245,12 @@ func (e *Estimator) recordDictAccess(built bool) {
 
 // timedSolve runs the group-sparse solve under a span and a latency
 // histogram. The time.Now pair is skipped entirely when metrics are
-// disabled, keeping the nil-registry path free of clock reads.
-func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
+// disabled, keeping the nil-registry path free of clock reads. With
+// Config.Fallback set, a failed or non-converged primary solve engages the
+// fallback chain (fb builds the FISTA retry solver; OMP is the terminal
+// stage); without it the primary outcome is returned untouched, preserving
+// bit-identical legacy behavior.
+func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb func() (*sparse.Solver, error), y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
 	// Stage-boundary cancellation: a dead context skips the solve entirely.
 	// (The solver's iteration loop itself is not interruptible; the worst
 	// post-cancel overrun is one solve.)
@@ -238,7 +267,107 @@ func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, y *cm
 		e.met.solveSeconds.Observe(time.Since(t0).Seconds())
 	}
 	sp.End()
-	return res, err
+	if !e.cfg.Fallback || (err == nil && res.Converged) {
+		return res, err
+	}
+	return e.fallbackSolve(ctx, solver, fb, y, kappa, res, err)
+}
+
+// fallbackSolve is the degradation chain behind Config.Fallback: retry the
+// solve on a FISTA solver sharing the dictionary, and if that also fails to
+// converge, take greedy OMP on the dominant snapshot column as the answer of
+// last resort. When even OMP errors, the primary outcome is returned so the
+// chain never makes things worse.
+func (e *Estimator) fallbackSolve(ctx context.Context, primary *sparse.Solver, fb func() (*sparse.Solver, error), y *cmat.Matrix, kappa float64, primaryRes *sparse.Result, primaryErr error) (*sparse.Result, error) {
+	_, sp := obs.StartSpan(ctx, "estimate.fallback")
+	defer sp.End()
+	if e.met != nil {
+		e.met.fallbackEngaged.Inc()
+	}
+	if fb != nil {
+		if retry, err := fb(); err == nil {
+			if res, err := retry.SolveMulti(y, kappa); err == nil && res.Converged {
+				if e.met != nil {
+					e.met.fallbackFISTA.Inc()
+				}
+				return res, nil
+			}
+		}
+	}
+	if res, err := e.ompSolve(primary, y); err == nil {
+		if e.met != nil {
+			e.met.fallbackOMP.Inc()
+		}
+		return res, nil
+	}
+	return primaryRes, primaryErr
+}
+
+// ompSolve runs orthogonal matching pursuit on the strongest column of y
+// (after l1-SVD fusion that is the dominant singular direction) and expands
+// the support into a Result comparable with the convex solvers' RowMags.
+func (e *Estimator) ompSolve(solver *sparse.Solver, y *cmat.Matrix) (*sparse.Result, error) {
+	best, bestN := 0, -1.0
+	for j := 0; j < y.Cols(); j++ {
+		var n2 float64
+		for _, v := range y.Col(j) {
+			n2 += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if n2 > bestN {
+			best, bestN = j, n2
+		}
+	}
+	dict := solver.Dict()
+	atoms := e.cfg.MaxPaths
+	if atoms > dict.Rows() {
+		atoms = dict.Rows()
+	}
+	r, err := sparse.OMP(dict, y.Col(best), atoms, 1e-3)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]complex128, dict.Cols())
+	for i, j := range r.Support {
+		if i < len(r.Coef) {
+			x[j] = r.Coef[i]
+		}
+	}
+	return &sparse.Result{
+		Solver:     "omp",
+		X:          [][]complex128{x},
+		RowMags:    r.Spectrum(dict.Cols()),
+		Iterations: len(r.Support),
+		Converged:  true,
+	}, nil
+}
+
+// aoaFallback lazily builds the FISTA retry solver over the AoA dictionary.
+func (e *Estimator) aoaFallback(primary *sparse.Solver) func() (*sparse.Solver, error) {
+	return func() (*sparse.Solver, error) {
+		e.aoaFBOnce.Do(func() {
+			e.aoaFB, e.aoaFBErr = sparse.NewSolver(primary.Dict(), e.fallbackOptions()...)
+		})
+		return e.aoaFB, e.aoaFBErr
+	}
+}
+
+// jointFallback lazily builds the FISTA retry solver over the joint
+// space-delay dictionary.
+func (e *Estimator) jointFallback(primary *sparse.Solver) func() (*sparse.Solver, error) {
+	return func() (*sparse.Solver, error) {
+		e.jointFBOnce.Do(func() {
+			e.jointFB, e.jointFBErr = sparse.NewSolver(primary.Dict(), e.fallbackOptions()...)
+		})
+		return e.jointFB, e.jointFBErr
+	}
+}
+
+// fallbackOptions derives the retry solver's options: the caller's options
+// with the method forced to FISTA (appended last, so it wins).
+func (e *Estimator) fallbackOptions() []sparse.Option {
+	opts := make([]sparse.Option, 0, len(e.cfg.SolverOptions)+1)
+	opts = append(opts, e.cfg.SolverOptions...)
+	return append(opts, sparse.WithMethod(sparse.MethodFISTA))
 }
 
 // kappaFor selects the sparsity weight for a measurement block:
@@ -288,7 +417,7 @@ func (e *Estimator) EstimateAoACtx(ctx context.Context, csi *wireless.CSI) (*spe
 		}
 	}
 	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
-	res, err := e.timedSolve(ctx, solver, y, kappa)
+	res, err := e.timedSolve(ctx, solver, e.aoaFallback(solver), y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: AoA solve: %w", err)
 	}
@@ -366,7 +495,7 @@ func (e *Estimator) estimateJointBlock(ctx context.Context, packets []*wireless.
 		spf.End()
 	}
 	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
-	res, err := e.timedSolve(ctx, solver, y, kappa)
+	res, err := e.timedSolve(ctx, solver, e.jointFallback(solver), y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: joint solve: %w", err)
 	}

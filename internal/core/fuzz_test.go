@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"roarray/internal/wireless"
+)
+
+// fuzzBurstValue maps one byte pair to a complex sample, steering the fuzzer
+// toward the values the sanitizer exists to catch: NaN, infinities, zeros,
+// and ordinary finite numbers.
+func fuzzBurstValue(a, b byte) complex128 {
+	part := func(c byte) float64 {
+		switch c % 7 {
+		case 0:
+			return math.NaN()
+		case 1:
+			return math.Inf(1)
+		case 2:
+			return math.Inf(-1)
+		case 3:
+			return 0
+		default:
+			return float64(c)/32 - 3
+		}
+	}
+	return complex(part(a), part(b))
+}
+
+// snapshotBits captures a burst's exact bit patterns so mutation by the
+// sanitizer (which must always work on clones) is detectable even through
+// NaN payloads.
+func snapshotBits(burst []*wireless.CSI) [][][2]uint64 {
+	out := make([][][2]uint64, len(burst))
+	for i, c := range burst {
+		if c == nil {
+			continue
+		}
+		var flat [][2]uint64
+		for _, row := range c.Data {
+			for _, v := range row {
+				flat = append(flat, [2]uint64{math.Float64bits(real(v)), math.Float64bits(imag(v))})
+			}
+		}
+		out[i] = flat
+	}
+	return out
+}
+
+// FuzzSanitizeBurst throws arbitrarily shaped, arbitrarily contaminated CSI
+// bursts at the admission sanitizer and checks its contract: never panic,
+// never mutate the input, account for every packet exactly once, and only
+// ever return finite packets of the requested dimensions.
+func FuzzSanitizeBurst(f *testing.F) {
+	f.Add([]byte("clean-burst-seed"), byte(3), byte(8), byte(2))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(3), byte(4), byte(3))
+	f.Add([]byte{}, byte(1), byte(1), byte(1))
+	f.Add([]byte("\x00\x00\x00\x00"), byte(2), byte(2), byte(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, mb, lb, nb byte) {
+		wantM := int(mb%4) + 1
+		wantL := int(lb%8) + 1
+		n := int(nb%5) + 1
+
+		next := func(i int) byte {
+			if len(data) == 0 {
+				return 0
+			}
+			return data[i%len(data)]
+		}
+		burst := make([]*wireless.CSI, n)
+		cursor := 0
+		for p := 0; p < n; p++ {
+			shape := next(cursor)
+			cursor++
+			switch shape % 8 {
+			case 0: // nil packet
+				continue
+			case 1: // wrong antenna count
+				burst[p] = wireless.NewCSI(wantM+1, wantL)
+			case 2: // wrong subcarrier count
+				burst[p] = wireless.NewCSI(wantM, wantL+1)
+			case 3: // ragged rows
+				c := wireless.NewCSI(wantM, wantL)
+				c.Data[0] = c.Data[0][:wantL-1]
+				burst[p] = c
+			default:
+				burst[p] = wireless.NewCSI(wantM, wantL)
+			}
+			if burst[p] == nil {
+				continue
+			}
+			for a := range burst[p].Data {
+				for s := range burst[p].Data[a] {
+					burst[p].Data[a][s] = fuzzBurstValue(next(cursor), next(cursor+1))
+					cursor += 2
+				}
+			}
+		}
+
+		before := snapshotBits(burst)
+		out, rep, err := SanitizeBurst(burst, wantM, wantL)
+
+		// The input burst is immutable: repairs happen on clones.
+		after := snapshotBits(burst)
+		for i := range before {
+			if len(before[i]) != len(after[i]) {
+				t.Fatalf("packet %d: sanitizer resized the input", i)
+			}
+			for j := range before[i] {
+				if before[i][j] != after[i][j] {
+					t.Fatalf("packet %d sample %d: sanitizer mutated the input burst", i, j)
+				}
+			}
+		}
+
+		// Bookkeeping: every packet lands in exactly one bucket.
+		if rep.Total != n {
+			t.Fatalf("report total %d, burst had %d packets", rep.Total, n)
+		}
+		if rep.Kept+rep.DroppedNonFinite+rep.DroppedDimension != rep.Total {
+			t.Fatalf("buckets do not sum: kept %d + nonfinite %d + dim %d != total %d",
+				rep.Kept, rep.DroppedNonFinite, rep.DroppedDimension, rep.Total)
+		}
+		if conf := rep.Confidence(); conf < 0.05-1e-15 || conf > 1 {
+			t.Fatalf("confidence %v outside [0.05, 1]", conf)
+		}
+
+		if err != nil {
+			if rep.Kept != 0 {
+				t.Fatalf("error %v but report kept %d packets", err, rep.Kept)
+			}
+			if !errors.Is(err, ErrNoUsablePackets) {
+				t.Fatalf("sanitize error %v does not wrap ErrNoUsablePackets", err)
+			}
+			return
+		}
+		if len(out) != rep.Kept || rep.Kept == 0 {
+			t.Fatalf("nil error but output has %d packets, report kept %d", len(out), rep.Kept)
+		}
+		// Every surviving packet is finite and correctly shaped.
+		for i, c := range out {
+			if err := CheckCSI(c, wantM, wantL); err != nil {
+				t.Fatalf("kept packet %d fails CheckCSI: %v", i, err)
+			}
+		}
+	})
+}

@@ -43,6 +43,10 @@ type APObservation struct {
 	AoADeg float64
 	// RSSIdBm is the received signal strength for this link.
 	RSSIdBm float64
+	// Confidence scales this link's Eq. 19 weight when the pipeline flagged
+	// it faulty (values in (0,1]); zero or negative means full confidence,
+	// so zero-valued legacy observations behave exactly as before.
+	Confidence float64
 }
 
 // ExpectedAoA returns the AoA (degrees, in [0,180]) at which an array at pos
@@ -102,6 +106,9 @@ func LocalizeParallelCtx(ctx context.Context, obs []APObservation, bounds Rect, 
 	weights := make([]float64, len(obs))
 	for i, o := range obs {
 		weights[i] = wireless.DBmToMilliwatt(o.RSSIdBm)
+		if o.Confidence > 0 {
+			weights[i] *= o.Confidence
+		}
 	}
 	nx := gridCount(bounds.MinX, bounds.MaxX, step)
 	ny := gridCount(bounds.MinY, bounds.MaxY, step)

@@ -48,7 +48,7 @@ func TestRegistry(t *testing.T) {
 			t.Fatalf("figure %q not registered", id)
 		}
 	}
-	for _, id := range []string{"og", "ab", "fs"} {
+	for _, id := range []string{"og", "ab", "fs", "fault"} {
 		if r, _ := Get(id); r == nil {
 			t.Fatalf("ablation %q not registered", id)
 		}
@@ -57,8 +57,16 @@ func TestRegistry(t *testing.T) {
 	if r != nil {
 		t.Fatal("unknown figure resolved")
 	}
-	if len(valid) != 12 {
-		t.Fatalf("valid list has %d entries, want 12", len(valid))
+	if len(valid) != 13 {
+		t.Fatalf("valid list has %d entries, want 13", len(valid))
+	}
+	// The fault sweep is addressable but must stay out of the "-fig all"
+	// sweep: its artifact gates against BENCH_fault.json, not the
+	// fault-free quality baseline.
+	for _, id := range AllIDs() {
+		if id == "fault" {
+			t.Fatal(`"fault" leaked into AllIDs(); it would poison the quality baseline`)
+		}
 	}
 }
 

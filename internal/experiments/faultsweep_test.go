@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"roarray/internal/quality"
+)
+
+// faultSweepArtifact runs the sweep at tiny settings with a recorder
+// attached and returns the transcript and the recorded experiment.
+func faultSweepArtifact(t *testing.T) (string, *quality.Experiment) {
+	t.Helper()
+	opt := tinyOptions()
+	opt.Recorder = quality.NewRecorder(nil)
+	var buf bytes.Buffer
+	if err := RunFaultSweep(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	art := opt.Recorder.Artifact("test", opt.Seed, nil)
+	exp := art.Experiment("fault")
+	if exp == nil {
+		t.Fatal("sweep did not record a \"fault\" experiment")
+	}
+	return buf.String(), exp
+}
+
+// TestRunFaultSweep is the graceful-degradation acceptance test: under every
+// single-AP total fault (and solver starvation) the pipeline still returns a
+// position for every placement, and the per-mode median error stays bounded
+// instead of exploding to the room scale.
+func TestRunFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep")
+	}
+	out, exp := faultSweepArtifact(t)
+
+	modes := []string{"none", "dead-ap", "nan-burst", "erasure", "phase-jump", "truncated", "budget"}
+	for _, mode := range modes {
+		if !strings.Contains(out, mode) {
+			t.Errorf("transcript is missing the %q row:\n%s", mode, out)
+		}
+		agg := exp.Aggregate("loc_err." + mode)
+		if agg == nil {
+			t.Errorf("no loc_err.%s aggregate recorded", mode)
+			continue
+		}
+		if agg.N != tinyOptions().Locations {
+			t.Errorf("mode %s recorded %d placements, want %d", mode, agg.N, tinyOptions().Locations)
+		}
+		// Bounded degradation: the testbed room is 18 m x 12 m, so an
+		// unmitigated poisoned AP could push errors to room scale (> 10 m).
+		// The sanitize/fallback machinery must keep every mode's median in
+		// the same few-meter regime as the healthy run.
+		if agg.Median <= 0 || agg.Median > 5 {
+			t.Errorf("mode %s median error %.2f m is not in the bounded-degradation regime (0, 5]", mode, agg.Median)
+		}
+	}
+	// Faulted trials carry their fault mode in the scenario metadata so
+	// artifact consumers can slice by condition.
+	seen := map[string]bool{}
+	for _, tr := range exp.Trials {
+		seen[tr.Scenario.Fault] = true
+	}
+	for _, mode := range modes {
+		if !seen[mode] {
+			t.Errorf("no trial records Scenario.Fault = %q", mode)
+		}
+	}
+}
+
+// TestRunFaultSweepDeterministic: the sweep's transcript and artifact are a
+// pure function of the options — two runs match byte for byte (the property
+// the committed BENCH_fault.json baseline depends on).
+func TestRunFaultSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep twice")
+	}
+	out1, _ := faultSweepArtifact(t)
+	out2, _ := faultSweepArtifact(t)
+	if out1 != out2 {
+		t.Fatalf("fault sweep transcript not reproducible:\n--- run 1:\n%s\n--- run 2:\n%s", out1, out2)
+	}
+}

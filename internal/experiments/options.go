@@ -184,6 +184,10 @@ func Get(id string) (Runner, []string) {
 		"og": RunAblationOffGrid,
 		"ab": RunAblationSolvers,
 		"fs": RunAblationFusion,
+		// "fault" is addressable directly but excluded from AllIDs(): its
+		// artifact gates against BENCH_fault.json, not the fault-free
+		// quality baseline.
+		"fault": RunFaultSweep,
 	}
 	if r, ok := reg[id]; ok {
 		return r, nil

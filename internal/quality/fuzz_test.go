@@ -1,0 +1,59 @@
+package quality
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadArtifact feeds arbitrary bytes to the artifact loader that
+// roabench -compare trusts with on-disk baselines. Whatever the bytes: no
+// panic; anything Read accepts must survive a Write/Read round trip and be
+// safe to hand to Compare and Report.Format.
+func FuzzReadArtifact(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schemaVersion":1,"experiments":[]}`))
+	f.Add([]byte(`{"schemaVersion":1,"seed":7,"experiments":[{"id":"2","trials":[` +
+		`{"trial":0,"scenario":{"seed":1,"snrDb":18},"errors":{"aoa_deg":0.5}}],` +
+		`"aggregates":[{"name":"aoa_err_deg","unit":"deg","count":1,"mean":0.5,"median":0.5,"p90":0.5,"max":0.5,` +
+		`"tolerance":{"abs":1}}]}]}`))
+	f.Add([]byte(`{"schemaVersion":2,"experiments":[]}`))
+	f.Add([]byte(`{"schemaVersion":1,"experiments":[{"id":""}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"schemaVersion":1,"experiments":[{"id":"x","aggregates":[{"name":"m","count":-1}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if a != nil {
+				t.Fatal("Read returned a non-nil artifact alongside an error")
+			}
+			return
+		}
+		if a.SchemaVersion != SchemaVersion {
+			t.Fatalf("Read accepted schema version %d, want %d", a.SchemaVersion, SchemaVersion)
+		}
+		// Accepted artifacts must re-serialize and reload cleanly.
+		var buf strings.Builder
+		if err := a.Write(&buf); err != nil {
+			t.Fatalf("Write failed on an artifact Read accepted: %v", err)
+		}
+		b, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nartifact: %s", err, buf.String())
+		}
+		if len(b.Experiments) != len(a.Experiments) {
+			t.Fatalf("round trip changed experiment count: %d -> %d", len(a.Experiments), len(b.Experiments))
+		}
+		// Comparing an artifact against itself must be well-defined and
+		// renderable, never a panic.
+		rep := Compare(a, b)
+		if rep == nil {
+			t.Fatal("Compare returned nil report")
+		}
+		rep.OK()
+		rep.Counts()
+		rep.Format(io.Discard, true)
+	})
+}

@@ -96,6 +96,9 @@ type Scenario struct {
 	Paths   int     `json:"paths,omitempty"`
 	APs     int     `json:"aps,omitempty"`
 	Packets int     `json:"packets,omitempty"`
+	// Fault names the injected fault condition this trial ran under
+	// (internal/fault kind, or a sweep mode label); empty means fault-free.
+	Fault string `json:"fault,omitempty"`
 }
 
 // PathEstimate is a ground truth or estimate: a direct-path AoA/ToA and/or

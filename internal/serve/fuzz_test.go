@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRequestDecode drives arbitrary bytes through the wire-format decode
+// path the HTTP handler trusts: JSON unmarshal into Request, then the
+// ToCore validation gate. Whatever the bytes, the decoder must not panic,
+// and any request that passes ToCore must survive a FromCore/ToCore round
+// trip (the representation the load generators rely on).
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"links":[]}`))
+	f.Add([]byte(`{"links":[{"x":1}],"room":{"maxX":1,"maxY":1}}`))
+	f.Add([]byte(`{"links":[{"packets":[{"data":[[[1,0]]]}]},{"packets":[{"data":[[[0,1]]]}]}],` +
+		`"room":{"minX":0,"minY":0,"maxX":2,"maxY":2},"gridStepMeters":0.5}`))
+	f.Add([]byte(`{"links":[{"packets":[{"data":[[[1,0],[0,1]],[[1,1]]]}]},{"packets":[{"data":[[[1,0]]]}]}],` +
+		`"room":{"maxX":1,"maxY":1}}`)) // ragged row
+	f.Add([]byte(`{"links":null,"room":{"minX":1e308,"maxX":-1e308}}`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		// These must never panic, whatever decoded.
+		req.Dims()
+		req.Deadline()
+		cr, err := req.ToCore()
+		if err != nil {
+			return
+		}
+		if cr == nil {
+			t.Fatal("ToCore returned nil, nil")
+		}
+		if len(cr.Links) < 2 {
+			t.Fatalf("ToCore accepted %d links, contract requires >= 2", len(cr.Links))
+		}
+		// A validated request must round-trip through the wire form.
+		back, err := FromCore(cr).ToCore()
+		if err != nil {
+			t.Fatalf("round trip rejected a request ToCore accepted: %v", err)
+		}
+		if len(back.Links) != len(cr.Links) {
+			t.Fatalf("round trip changed link count: %d -> %d", len(cr.Links), len(back.Links))
+		}
+	})
+}

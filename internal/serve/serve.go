@@ -56,6 +56,13 @@ type Config struct {
 	// Tracer, when non-nil, threads span tracing through every request and
 	// flush.
 	Tracer *obs.Tracer
+	// Disturb, when non-nil, is called with each request's context after
+	// validation and before admission — the hook the fault harness
+	// (internal/fault.Injector.Disturb) uses to inject slow or stuck
+	// requests. It runs on the request's handler goroutine, so a wedged
+	// Disturb stalls only its own request (until the context dies), never
+	// the dispatcher.
+	Disturb func(ctx context.Context)
 }
 
 func (c Config) withDefaults() Config {
@@ -352,6 +359,14 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.hardCtx, pcancel)
 	defer stop()
 
+	// Fault-injection hook: disturb the request on its own goroutine before
+	// it competes for a queue slot. A stuck disturbance releases when the
+	// request's context dies, after which the request proceeds to admission
+	// and fails fast at the engine's first stage-boundary check (504/503).
+	if s.cfg.Disturb != nil {
+		s.cfg.Disturb(pctx)
+	}
+
 	p := &pending{req: creq, ctx: pctx, done: make(chan outcome, 1), enqueued: t0}
 
 	// Admission: the read lock pins the draining flag across the queue send
@@ -423,6 +438,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, lr := range out.res.Links {
 		resp.Links[i].AoADeg = lr.AoADeg
+		resp.Links[i].Confidence = lr.Confidence
 		if lr.Err != nil {
 			resp.Links[i].Error = lr.Err.Error()
 		}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"roarray/internal/core"
@@ -64,6 +65,9 @@ type LinkResult struct {
 	AoADeg float64 `json:"aoaDeg"`
 	// Error is the per-link failure, if any; the request still succeeds.
 	Error string `json:"error,omitempty"`
+	// Confidence is the reduced fusion weight assigned when admission
+	// sanitization flagged this link faulty; omitted (zero) for clean links.
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // Response is the JSON body of a successful localization.
@@ -103,6 +107,16 @@ func (r *Request) ToCore() (*core.LocalizeRequest, error) {
 	if len(r.Links) < 2 {
 		return nil, fmt.Errorf("serve: request needs >= 2 links, got %d", len(r.Links))
 	}
+	// JSON cannot encode NaN/Inf, so HTTP requests are finite by
+	// construction — but ToCore is also the admission gate for in-process
+	// callers, where a non-finite room or RSSI would poison the Eq. 19 cost
+	// surface (NaN compares false against everything, wedging the search at
+	// its starting corner).
+	for _, v := range []float64{r.Room.MinX, r.Room.MinY, r.Room.MaxX, r.Room.MaxY, r.GridStepMeters, r.DeadlineMillis} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("serve: non-finite request geometry %+v", r.Room)
+		}
+	}
 	if r.Room.MaxX <= r.Room.MinX || r.Room.MaxY <= r.Room.MinY {
 		return nil, fmt.Errorf("serve: empty room %+v", r.Room)
 	}
@@ -118,6 +132,11 @@ func (r *Request) ToCore() (*core.LocalizeRequest, error) {
 	for i, link := range r.Links {
 		if len(link.Packets) == 0 {
 			return nil, fmt.Errorf("serve: link %d has no packets", i)
+		}
+		for _, v := range []float64{link.X, link.Y, link.AxisDeg, link.RSSIdBm} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("serve: link %d has non-finite geometry/RSSI", i)
+			}
 		}
 		burst := make([]*wireless.CSI, len(link.Packets))
 		for p, pkt := range link.Packets {

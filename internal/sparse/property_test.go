@@ -1,0 +1,212 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roarray/internal/cmat"
+)
+
+// randomDictionary builds an m x n complex Gaussian dictionary with
+// unit-norm columns — the standard compressed-sensing test ensemble, whose
+// incoherence makes sparse recovery well-posed with high probability.
+func randomDictionary(rng *rand.Rand, m, n int) *cmat.Matrix {
+	a := cmat.New(m, n)
+	for j := 0; j < n; j++ {
+		col := make([]complex128, m)
+		var norm float64
+		for i := range col {
+			col[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			norm += real(col[i])*real(col[i]) + imag(col[i])*imag(col[i])
+		}
+		norm = math.Sqrt(norm)
+		for i := range col {
+			col[i] /= complex(norm, 0)
+		}
+		a.SetCol(j, col)
+	}
+	return a
+}
+
+// randomSnapshots builds an m x cols measurement matrix.
+func randomSnapshots(rng *rand.Rand, m, cols int) *cmat.Matrix {
+	y := cmat.New(m, cols)
+	for i := 0; i < m; i++ {
+		for j := 0; j < cols; j++ {
+			y.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return y
+}
+
+// permuteCols returns a with its columns reordered so that column j of the
+// result is column perm[j] of the input.
+func permuteCols(a *cmat.Matrix, perm []int) *cmat.Matrix {
+	out := cmat.New(a.Rows(), a.Cols())
+	for j, src := range perm {
+		out.SetCol(j, a.Col(src))
+	}
+	return out
+}
+
+// TestSolverPermutationEquivariance: relabeling dictionary atoms must
+// relabel the recovered spectrum the same way and change nothing else —
+// the ℓ1/ℓ2,1 objective has no preference among column orderings. Checked
+// for both convex solvers on the same problem.
+func TestSolverPermutationEquivariance(t *testing.T) {
+	const m, n, snapshots = 12, 24, 3
+	rng := rand.New(rand.NewSource(42))
+	a := randomDictionary(rng, m, n)
+	y := randomSnapshots(rng, m, snapshots)
+	perm := rng.Perm(n)
+	ap := permuteCols(a, perm)
+	kappa := 0.3
+
+	for _, method := range []Method{MethodADMM, MethodFISTA} {
+		t.Run(method.String(), func(t *testing.T) {
+			opts := []Option{WithMethod(method), WithMaxIters(3000), WithTolerance(1e-10, 1e-9)}
+			s1, err := NewSolver(a, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := NewSolver(ap, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := s1.SolveMulti(y, kappa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := s2.SolveMulti(y, kappa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r1.Converged || !r2.Converged {
+				t.Fatalf("solvers did not converge (orig %v, permuted %v)", r1.Converged, r2.Converged)
+			}
+			scale := 0.0
+			for _, v := range r1.RowMags {
+				if v > scale {
+					scale = v
+				}
+			}
+			if scale == 0 {
+				t.Fatal("degenerate test: recovered spectrum is all zero")
+			}
+			for j := range perm {
+				// Atom j of the permuted dictionary is atom perm[j] of the
+				// original, so its magnitude must match.
+				diff := math.Abs(r2.RowMags[j] - r1.RowMags[perm[j]])
+				if diff > 1e-5*scale {
+					t.Errorf("atom %d (orig %d): permuted mag %.9f != original %.9f (diff %.3g)",
+						j, perm[j], r2.RowMags[j], r1.RowMags[perm[j]], diff)
+				}
+			}
+			if math.Abs(r1.Objective-r2.Objective) > 1e-6*(1+math.Abs(r1.Objective)) {
+				t.Errorf("objective moved under permutation: %.12f vs %.12f", r1.Objective, r2.Objective)
+			}
+		})
+	}
+}
+
+// TestSolverScalingEquivariance: the LASSO solution map is positively
+// homogeneous — scaling the measurements and the regularization weight by
+// the same c scales the solution by c. Verified with c = 2 so the scaling
+// itself is exact in floating point.
+func TestSolverScalingEquivariance(t *testing.T) {
+	const m, n, snapshots, c = 10, 20, 2, 2.0
+	rng := rand.New(rand.NewSource(7))
+	a := randomDictionary(rng, m, n)
+	y := randomSnapshots(rng, m, snapshots)
+	yScaled := cmat.Scale(complex(c, 0), y)
+	kappa := 0.25
+
+	for _, method := range []Method{MethodADMM, MethodFISTA} {
+		t.Run(method.String(), func(t *testing.T) {
+			opts := []Option{WithMethod(method), WithMaxIters(3000), WithTolerance(1e-11, 1e-10)}
+			mk := func() *Solver {
+				s, err := NewSolver(a, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			r1, err := mk().SolveMulti(y, kappa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := mk().SolveMulti(yScaled, c*kappa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r1.Converged || !r2.Converged {
+				t.Fatalf("solvers did not converge (base %v, scaled %v)", r1.Converged, r2.Converged)
+			}
+			scale := 0.0
+			for _, v := range r1.RowMags {
+				if v > scale {
+					scale = v
+				}
+			}
+			if scale == 0 {
+				t.Fatal("degenerate test: recovered spectrum is all zero")
+			}
+			for j := range r1.RowMags {
+				diff := math.Abs(r2.RowMags[j] - c*r1.RowMags[j])
+				if diff > 1e-5*c*scale {
+					t.Errorf("atom %d: scaled solve gave %.9f, want %.9f (diff %.3g)",
+						j, r2.RowMags[j], c*r1.RowMags[j], diff)
+				}
+			}
+		})
+	}
+}
+
+// TestOMPSupportRecovery: on noiseless k-sparse synthetic problems over a
+// random unit-norm dictionary, greedy OMP must recover the exact support
+// and drive the residual to numerical zero — across many seeds, not one
+// lucky draw.
+func TestOMPSupportRecovery(t *testing.T) {
+	const m, n, k, trials = 24, 48, 3, 25
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1000 + int64(trial)))
+			a := randomDictionary(rng, m, n)
+
+			support := rng.Perm(n)[:k]
+			sort.Ints(support)
+			y := make([]complex128, m)
+			for _, j := range support {
+				// Coefficient magnitudes bounded away from zero so the
+				// support is identifiable.
+				g := complex(1+rng.Float64(), 1+rng.Float64())
+				col := a.Col(j)
+				for i := range y {
+					y[i] += g * col[i]
+				}
+			}
+
+			res, err := OMP(a, y, k, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]int(nil), res.Support...)
+			sort.Ints(got)
+			if len(got) != k {
+				t.Fatalf("selected %d atoms, want %d (support %v, got %v)", len(got), k, support, got)
+			}
+			for i := range got {
+				if got[i] != support[i] {
+					t.Fatalf("support mismatch: got %v, want %v", got, support)
+				}
+			}
+			if res.ResidualNorm > 1e-8*cmat.Norm2(y) {
+				t.Errorf("residual %.3g not at numerical zero for a noiseless problem", res.ResidualNorm)
+			}
+		})
+	}
+}

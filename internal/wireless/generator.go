@@ -20,8 +20,9 @@ type Generator struct {
 	cfg ChannelConfig
 	rng *rand.Rand
 
-	packets *obs.Counter   // nil unless Instrument was called
-	snr     *obs.Histogram // nil unless Instrument was called
+	packets   *obs.Counter    // nil unless Instrument was called
+	snr       *obs.Histogram  // nil unless Instrument was called
+	transform func(*CSI) *CSI // nil unless WithTransform was called
 }
 
 // NewGenerator validates cfg and returns a generator seeded with seed.
@@ -99,11 +100,26 @@ func (g *Generator) record(n int) {
 	}
 }
 
+// WithTransform installs an optional post-generation stage applied to every
+// emitted packet — the hook a fault injector (internal/fault) uses to corrupt
+// the stream. The transform runs after the channel synthesis has consumed its
+// randomness, so installing one (or an identity transform) never perturbs the
+// generator's RNG stream: the packets fed into the transform are byte-
+// identical to what an untransformed generator would emit. A nil fn removes
+// the stage. Returns the generator for chaining.
+func (g *Generator) WithTransform(fn func(*CSI) *CSI) *Generator {
+	g.transform = fn
+	return g
+}
+
 // Packet synthesizes the next CSI measurement in the stream.
 func (g *Generator) Packet() (*CSI, error) {
 	csi, err := Generate(&g.cfg, g.rng)
 	if err == nil {
 		g.record(1)
+		if g.transform != nil {
+			csi = g.transform(csi)
+		}
 	}
 	return csi, err
 }
@@ -113,6 +129,11 @@ func (g *Generator) Burst(n int) ([]*CSI, error) {
 	burst, err := GenerateBurst(&g.cfg, n, g.rng)
 	if err == nil {
 		g.record(len(burst))
+		if g.transform != nil {
+			for i, c := range burst {
+				burst[i] = g.transform(c)
+			}
+		}
 	}
 	return burst, err
 }
