@@ -9,7 +9,7 @@ GO ?= go
 # so the full -race sweep stays affordable.
 RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/...
 
-.PHONY: check vet build test race bench profile experiments quality-gate bless-quality serve-smoke bless-serve fuzz-smoke fault-gate bless-fault
+.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault
 
 check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke
 
@@ -29,6 +29,15 @@ race:
 # model); speedup requires GOMAXPROCS >= 2.
 bench:
 	$(GO) test -run XXX -bench 'LocalizeBatch' -benchtime 3x .
+
+# Search-strategy and warm-start benchmark pairs (see DESIGN.md §13): the
+# flat-vs-coarse-fine grid search ratio and the cold-vs-warm / dense-vs-
+# Kronecker solver ratios. The committed-baseline regression assertion
+# itself lives in cmd/roabench (TestCommittedBatchBaseline, part of `make
+# test`); this target is for eyeballing the ratios.
+bench-search:
+	$(GO) test -run XXX -bench 'BenchmarkLocalizeFlat$$|BenchmarkLocalizeCoarseFine$$' -benchtime 5x .
+	$(GO) test -run XXX -bench 'BenchmarkADMMCold$$|BenchmarkADMMWarm$$|BenchmarkADMMKron' -benchtime 3x ./internal/sparse/
 
 # CPU and memory profiles of the parallel batch engine, written to
 # ./profiles/ (gitignored). Inspect with `go tool pprof profiles/cpu.pprof`.
@@ -93,8 +102,13 @@ bless-serve:
 	OUT=BENCH_serve.json DURATION=5s CONCURRENCY=8 MIN_OK=24 MIN_MEAN_BATCH=1.2 \
 		./scripts/serve_smoke.sh
 
+# Re-record the committed BENCH_batch.json throughput baseline. The -warm
+# leg is what the committed artifact's solve-latency gate (cmd/roabench
+# TestCommittedBatchBaseline) reads, so it must stay on here.
+bless-batch:
+	$(GO) run ./cmd/roabench -batch 8 -seed 5 -packets 4 -aps 4 -warm -json > BENCH_batch.json
+
 # Re-record the committed baselines after an intentional accuracy or
 # performance change. Review the diff of BENCH_*.json before committing.
-bless-quality:
+bless-quality: bless-batch
 	$(GO) run ./cmd/roabench -fig all $(QUALITY_FLAGS) -artifact BENCH_quality.json > /dev/null
-	$(GO) run ./cmd/roabench -batch 8 -seed 5 -packets 4 -aps 4 -json > BENCH_batch.json

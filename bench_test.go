@@ -287,3 +287,39 @@ func BenchmarkLocalizeGridSearch(b *testing.B) {
 		}
 	}
 }
+
+// gridSearchObs builds the 6-AP Eq. 19 inputs used by the search-strategy
+// benchmark pair.
+func gridSearchObs() ([]roarray.APObservation, roarray.Rect) {
+	dep := roarray.DefaultDeployment()
+	obs := make([]roarray.APObservation, len(dep.APs))
+	target := roarray.Point{X: 7, Y: 5}
+	for i, ap := range dep.APs {
+		obs[i] = roarray.APObservation{
+			Pos:     ap.Pos,
+			AxisDeg: ap.AxisDeg,
+			AoADeg:  roarray.ExpectedAoA(ap.Pos, ap.AxisDeg, target),
+			RSSIdBm: -50,
+		}
+	}
+	return obs, dep.Room
+}
+
+func benchLocalizeSearch(b *testing.B, mode roarray.SearchMode) {
+	obs, room := gridSearchObs()
+	cfg := roarray.SearchConfig{Mode: mode}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := roarray.LocalizeSearch(obs, room, 0.1, 1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalizeFlat measures the exhaustive legacy scan of the full
+// 181x121 grid; BenchmarkLocalizeCoarseFine is the same problem under the
+// multi-resolution search, which returns the bit-identical position while
+// evaluating an order of magnitude fewer cells. The ratio of the two is the
+// coarse-to-fine speedup.
+func BenchmarkLocalizeFlat(b *testing.B)       { benchLocalizeSearch(b, roarray.SearchFlat) }
+func BenchmarkLocalizeCoarseFine(b *testing.B) { benchLocalizeSearch(b, roarray.SearchCoarse) }

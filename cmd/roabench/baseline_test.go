@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// batchBaseline mirrors the slice of the committed BENCH_batch.json this
+// gate reads (produced by `make bless-batch`).
+type batchBaseline struct {
+	MedianErrM     float64 `json:"medianErrM"`
+	ColdMedianErrM float64 `json:"coldMedianErrM"`
+	Identical      bool    `json:"identical"`
+	Warm           bool    `json:"warm"`
+	WarmSpeedup    float64 `json:"warmSpeedup"`
+	Metrics        map[string]json.RawMessage
+}
+
+// TestCommittedBatchBaseline gates the committed BENCH_batch.json artifact:
+// the warm serving path must keep its accuracy bit-identical to the cold
+// reference and hold the per-solve latency won by the warm-start + Kronecker
+// work. The p50 ceiling is half the pre-optimization baseline (0.04927 s per
+// solve), so re-blessing an artifact that silently lost the speedup fails
+// here instead of landing.
+func TestCommittedBatchBaseline(t *testing.T) {
+	// Half the committed pre-optimization core.solve.seconds p50.
+	const maxSolveP50 = 0.0247
+
+	raw, err := os.ReadFile("../../BENCH_batch.json")
+	if err != nil {
+		t.Fatalf("read committed artifact: %v", err)
+	}
+	var base batchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parse committed artifact: %v", err)
+	}
+
+	if !base.Warm {
+		t.Fatal("committed BENCH_batch.json was not recorded with -warm; re-bless with `make bless-batch`")
+	}
+	if !base.Identical {
+		t.Fatal("committed artifact reports serial/parallel divergence")
+	}
+	if base.MedianErrM != base.ColdMedianErrM {
+		t.Fatalf("warm median error %v differs from cold %v — warm path changed accuracy",
+			base.MedianErrM, base.ColdMedianErrM)
+	}
+	if base.WarmSpeedup < 2 {
+		t.Fatalf("warm-leg speedup %.2f < 2x over the cold serial leg", base.WarmSpeedup)
+	}
+
+	var hist struct {
+		P50 float64 `json:"p50"`
+		N   int64   `json:"count"`
+	}
+	rawHist, ok := base.Metrics["core.solve.seconds"]
+	if !ok {
+		t.Fatal("committed artifact has no core.solve.seconds histogram")
+	}
+	if err := json.Unmarshal(rawHist, &hist); err != nil {
+		t.Fatalf("parse core.solve.seconds: %v", err)
+	}
+	if hist.N == 0 {
+		t.Fatal("core.solve.seconds histogram is empty")
+	}
+	if hist.P50 > maxSolveP50 {
+		t.Fatalf("core.solve.seconds p50 = %v s exceeds the %v s gate (half the pre-optimization baseline)",
+			hist.P50, maxSolveP50)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"roarray"
+	"roarray/internal/core"
 	"roarray/internal/experiments"
 	"roarray/internal/quality"
 )
@@ -68,6 +69,8 @@ func run(stdout, stderr io.Writer, args []string) error {
 	tau := fs.Int("tau", 0, "ROArray ToA grid points (0 = default 20; paper 50)")
 	iters := fs.Int("iters", 0, "solver iteration cap (0 = default 150)")
 	parallel := fs.Int("parallel", 1, "estimation worker count (0 or negative = GOMAXPROCS)")
+	warm := fs.Bool("warm", false, "enable warm-started solvers; with -batch this adds a warm serving leg whose metrics feed the JSON snapshot")
+	search := fs.String("search", "coarse", "localization grid-search strategy: coarse, flat, or exact (cross-checked)")
 	batch := fs.Int("batch", 0, "run the batch localization benchmark over this many requests instead of figures")
 	faultSweep := fs.Bool("fault", false, "run the fault-injection degradation sweep instead of figures (artifact gates against BENCH_fault.json)")
 	jsonOut := fs.Bool("json", false, "emit the batch benchmark result as one JSON line on stdout")
@@ -91,6 +94,10 @@ func run(stdout, stderr io.Writer, args []string) error {
 	if workers <= 0 {
 		workers = -1 // experiments.Options: negative selects GOMAXPROCS
 	}
+	searchMode, err := core.ParseSearchMode(*search)
+	if err != nil {
+		return err
+	}
 	opt := experiments.Options{
 		Seed:        *seed,
 		Locations:   *locations,
@@ -99,6 +106,8 @@ func run(stdout, stderr io.Writer, args []string) error {
 		ThetaPoints: *theta,
 		TauPoints:   *tau,
 		SolverIters: *iters,
+		Warm:        *warm,
+		Search:      core.SearchConfig{Mode: searchMode},
 		Workers:     workers,
 		Metrics:     roarray.NewMetrics(),
 	}

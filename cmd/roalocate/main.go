@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	roalocate -input observations.json [-step 0.1] [-parallel 8]
+//	roalocate -input observations.json [-step 0.1] [-parallel 8] [-search coarse|flat|exact]
 //	roalocate -sample > observations.json    # print a sample input
 //	roalocate -input obs.json -trace run.jsonl -metrics-addr :8080
 //
@@ -60,9 +60,11 @@ type obsSpec struct {
 
 // response is the JSON output schema.
 type response struct {
-	X            float64 `json:"x"`
-	Y            float64 `json:"y"`
-	Observations int     `json:"observations"`
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	Observations   int     `json:"observations"`
+	SearchMode     string  `json:"searchMode"`
+	CellsEvaluated int     `json:"cellsEvaluated"`
 }
 
 func main() {
@@ -78,6 +80,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	step := fs.Float64("step", 0, "grid step in meters (overrides gridStepMeters; 0 keeps the file's value)")
 	sample := fs.Bool("sample", false, "print a sample input document and exit")
 	parallel := fs.Int("parallel", 1, "grid-search worker count (0 or negative = GOMAXPROCS); the answer is identical for any value")
+	search := fs.String("search", "coarse", "grid-search strategy: coarse (multi-resolution), flat (exhaustive), exact (run both, cross-check); the answer is identical for all")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	traceFile := fs.String("trace", "", "write a JSONL span trace of the grid search to this file")
 	if err := fs.Parse(args); err != nil {
@@ -141,12 +144,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	_, sp := roarray.StartSpan(ctx, "localize.grid")
+	mode, err := roarray.ParseSearchMode(*search)
+	if err != nil {
+		return err
+	}
+	spanCtx, sp := roarray.StartSpan(ctx, "localize.grid")
 	start := time.Now()
-	pos, err := roarray.LocalizeParallel(observations, roarray.Rect{
+	pos, stats, err := roarray.LocalizeSearchCtx(spanCtx, observations, roarray.Rect{
 		MinX: req.Room.MinX, MinY: req.Room.MinY,
 		MaxX: req.Room.MaxX, MaxY: req.Room.MaxY,
-	}, gridStep, workers)
+	}, gridStep, workers, roarray.SearchConfig{Mode: mode})
 	sp.End()
 	if err != nil {
 		return err
@@ -154,7 +161,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	reg.Counter("roalocate.requests_total").Inc()
 	reg.Histogram("roalocate.grid.seconds").Observe(time.Since(start).Seconds())
 	enc := json.NewEncoder(stdout)
-	return enc.Encode(response{X: pos.X, Y: pos.Y, Observations: len(observations)})
+	return enc.Encode(response{
+		X: pos.X, Y: pos.Y, Observations: len(observations),
+		SearchMode: stats.Mode, CellsEvaluated: stats.Evaluated(),
+	})
 }
 
 // printSample writes a plausible input built from the default deployment.

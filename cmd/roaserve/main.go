@@ -8,6 +8,7 @@
 //	roaserve -addr :8092 -preset paper -workers 8 -batch-size 16
 //	roaserve -addr 127.0.0.1:0 -addr-file /tmp/roaserve.addr   # scripts
 //	roaserve -addr :8092 -metrics-addr :8093 -trace spans.jsonl
+//	roaserve -addr :8092 -preset paper -warm -search coarse   # fast serving
 //
 // Endpoints:
 //
@@ -70,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	traceFile := fs.String("trace", "", "write a JSONL span trace of every request to this file")
+	warm := fs.Bool("warm", false, "warm-start solvers from the previous packet's iterates and use Kronecker-factored matvecs (same positions, fewer iterations)")
+	search := fs.String("search", "", "grid-search strategy override: coarse, flat, or exact (empty keeps the engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,9 +81,21 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
+	var searchCfg *core.SearchConfig
+	if *search != "" {
+		mode, err := core.ParseSearchMode(*search)
+		if err != nil {
+			return err
+		}
+		searchCfg = &core.SearchConfig{Mode: mode}
+	}
 	reg := obs.NewRegistry()
 	cfg := ps.Estimator
 	cfg.Metrics = reg
+	cfg.Warm = *warm
+	if searchCfg != nil {
+		cfg.Search = *searchCfg
+	}
 	est, err := core.NewEstimator(cfg)
 	if err != nil {
 		return fmt.Errorf("estimator: %w", err)
@@ -120,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		RequestTimeout: *requestTimeout,
 		Metrics:        reg,
 		Tracer:         tracer,
+		Search:         searchCfg,
 	})
 	if err != nil {
 		return err

@@ -94,6 +94,30 @@ func (m *Matrix) Row(i int) []complex128 {
 	return out
 }
 
+// RowView returns row i as a slice sharing the matrix's backing storage —
+// writes through the view mutate the matrix. It exists for allocation-free
+// inner loops (the sparse solvers' iteration kernels); use Row when an
+// independent copy is wanted.
+func (m *Matrix) RowView(i int) []complex128 {
+	if i < 0 || i >= m.rows {
+		panicRowView(i, m.rows, m.cols)
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// panicRowView keeps the formatting call out of RowView's body so RowView
+// stays within the inlining budget — it is called once per row inside the
+// solvers' iteration loops.
+func panicRowView(i, rows, cols int) {
+	panic(fmt.Sprintf("cmat: RowView row %d out of range for %dx%d matrix", i, rows, cols))
+}
+
+// Data returns the matrix's backing row-major storage — element (i,j) is
+// Data()[i*Cols()+j], and writes mutate the matrix. Like RowView it exists
+// for allocation-free hot loops (flat elementwise passes over whole
+// matrices); everything else should go through At/Set.
+func (m *Matrix) Data() []complex128 { return m.data }
+
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []complex128 {
 	out := make([]complex128, m.rows)

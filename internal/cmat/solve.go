@@ -82,6 +82,47 @@ func (c *Cholesky) Solve(b []complex128) []complex128 {
 	return x
 }
 
+// SolveBatchInto solves A X = B column by column into out, reusing the
+// caller's scratch buffers (each at least n long) so iterative solvers can
+// run the factorized system every iteration without allocating. Each column
+// performs exactly the operation sequence of Solve, so the results are
+// bit-identical to per-column Solve calls. B and out must both be n x k; out
+// may not alias B.
+func (c *Cholesky) SolveBatchInto(b, out *Matrix, fwd, bwd []complex128) {
+	n := c.l.Rows()
+	if b.rows != n || out.rows != n || b.cols != out.cols {
+		panic(fmt.Sprintf("cmat: Cholesky batch solve shapes %dx%d -> %dx%d for order %d",
+			b.rows, b.cols, out.rows, out.cols, n))
+	}
+	if len(fwd) < n || len(bwd) < n {
+		panic(fmt.Sprintf("cmat: Cholesky batch scratch %d/%d for order %d", len(fwd), len(bwd), n))
+	}
+	k := b.cols
+	ld := c.l.data
+	for j := 0; j < k; j++ {
+		// Forward: L y = b.
+		for i := 0; i < n; i++ {
+			s := b.data[i*k+j]
+			lrow := ld[i*n : i*n+i]
+			for t, lv := range lrow {
+				s -= lv * fwd[t]
+			}
+			fwd[i] = s / ld[i*n+i]
+		}
+		// Backward: Lᴴ x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := fwd[i]
+			for t := i + 1; t < n; t++ {
+				s -= cmplx.Conj(ld[t*n+i]) * bwd[t]
+			}
+			bwd[i] = s / ld[i*n+i]
+		}
+		for i := 0; i < n; i++ {
+			out.data[i*k+j] = bwd[i]
+		}
+	}
+}
+
 // LU holds an LU factorization with partial pivoting: P A = L U.
 type LU struct {
 	lu   *Matrix

@@ -157,6 +157,9 @@ type LocalizeRequest struct {
 	Bounds Rect
 	// Step is the search grid step in meters; <= 0 selects 0.1 m.
 	Step float64
+	// Search, when non-nil, overrides the engine's configured grid-search
+	// strategy (Config.Search) for this request only.
+	Search *SearchConfig
 }
 
 // LinkResult is the per-AP outcome within a LocalizeResult.
@@ -326,18 +329,39 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 			Confidence: out.Links[i].Confidence,
 		}
 	}
+	scfg := e.est.cfg.Search
+	if req.Search != nil {
+		scfg = *req.Search
+	}
 	_, gsp := obs.StartSpan(ctx, "localize.grid")
-	pos, err := LocalizeParallelCtx(ctx, aps, req.Bounds, req.Step, workers)
+	pos, stats, err := LocalizeSearchCtx(ctx, aps, req.Bounds, req.Step, workers, scfg)
 	gsp.End()
 	if err != nil {
 		return nil, err
 	}
+	e.met.recordSearch(stats)
 	out.Position = pos
 	if e.met != nil {
 		e.met.localizeSecs.Observe(time.Since(t0).Seconds())
 		e.met.requests.Inc()
 	}
 	return out, nil
+}
+
+// recordSearch notes what the Eq. 19 grid search evaluated, so an operator
+// can see the coarse-to-fine pruning working (refine+coarse cells should sit
+// far below flat cells on production grids).
+func (m *engineMetrics) recordSearch(stats SearchStats) {
+	if m == nil {
+		return
+	}
+	switch stats.Mode {
+	case "coarse", "exact":
+		m.reg.Counter("core.search.coarse_cells").Add(int64(stats.CoarseCells))
+		m.reg.Counter("core.search.refine_cells").Add(int64(stats.RefineCells))
+	default:
+		m.reg.Counter("core.search.flat_cells").Add(int64(stats.FlatCells))
+	}
 }
 
 // LocalizeBatch processes independent requests concurrently across the

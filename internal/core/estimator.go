@@ -47,6 +47,19 @@ type Config struct {
 	// SolverOptions are passed to the underlying sparse solvers (method,
 	// iteration caps, hooks, ...).
 	SolverOptions []sparse.Option
+	// Warm enables warm-started solving: per-dictionary caches seed each
+	// solve from the most recent solution of the same shape (the previous
+	// packet of a burst, or a micro-batch neighbor on the serving path), and
+	// a spectrum-stability early stop (sparse.WithSpectrumStop, prepended to
+	// SolverOptions so explicit options still win) converts the good seed
+	// into saved iterations. Warm solves can end at different iterates than
+	// cold ones (within solver tolerance), so the bit-reproducible
+	// evaluation pipeline leaves this off; the serving path turns it on.
+	Warm bool
+	// Search tunes the Eq. 19 localization grid search (see SearchConfig).
+	// The zero value selects the coarse-to-fine strategy, which is
+	// bit-identical to the flat scan by construction.
+	Search SearchConfig
 	// Fallback enables the solver fallback chain: when the primary solve
 	// errors or exhausts its iteration budget without converging, the
 	// estimator retries on a FISTA solver sharing the same dictionary and,
@@ -128,6 +141,40 @@ type Estimator struct {
 	jointFBOnce sync.Once
 	jointFB     *sparse.Solver
 	jointFBErr  error
+
+	// Per-dictionary warm-start caches (Config.Warm), keyed by snapshot
+	// count: solves of the same shape against the same dictionary seed each
+	// other. Each lives alongside the solver cache it accelerates.
+	aoaWarm   warmSlot
+	jointWarm warmSlot
+}
+
+// warmSlot is a concurrency-safe cache of the most recent solver state per
+// measurement shape (snapshot count). take hands out an independent clone so
+// the solver can mutate it lock-free; put installs the updated state with
+// last-writer-wins semantics — under concurrency any recent state is an
+// equally good seed, correctness never depends on which one survives.
+type warmSlot struct {
+	mu  sync.Mutex
+	byK map[int]*sparse.WarmState
+}
+
+func (s *warmSlot) take(k int) *sparse.WarmState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ws := s.byK[k]; ws != nil {
+		return ws.Clone()
+	}
+	return &sparse.WarmState{}
+}
+
+func (s *warmSlot) put(k int, ws *sparse.WarmState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byK == nil {
+		s.byK = make(map[int]*sparse.WarmState)
+	}
+	s.byK[k] = ws
 }
 
 // estimatorMetrics caches the estimator's metric handles, resolved once at
@@ -142,6 +189,9 @@ type estimatorMetrics struct {
 	fallbackEngaged *obs.Counter // primary solve failed/non-converged, chain entered
 	fallbackFISTA   *obs.Counter // FISTA retry converged and was used
 	fallbackOMP     *obs.Counter // greedy OMP terminal fallback was used
+
+	warmEngaged   *obs.Counter // solves seeded from a cached warm state
+	warmIterSaved *obs.Counter // iterations saved vs the solver's cap
 }
 
 func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
@@ -155,6 +205,8 @@ func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
 		fallbackEngaged: reg.Counter("core.solve.fallback_engaged_total"),
 		fallbackFISTA:   reg.Counter("core.solve.fallback_fista_total"),
 		fallbackOMP:     reg.Counter("core.solve.fallback_omp_total"),
+		warmEngaged:     reg.Counter("core.warmstart.engaged_total"),
+		warmIterSaved:   reg.Counter("core.warmstart.iter_saved"),
 	}
 }
 
@@ -168,6 +220,15 @@ func NewEstimator(cfg Config) (*Estimator, error) {
 	if len(full.ThetaGrid) == 0 || len(full.TauGrid) == 0 {
 		return nil, fmt.Errorf("core: empty estimation grids")
 	}
+	if full.Warm {
+		// Prepend the spectrum-stability stop so explicit caller options can
+		// still override it. Without an early stop a warm seed changes which
+		// iterate a capped solve ends at but not how long it runs; with it,
+		// a seed near the solution ends the solve within a few iterations.
+		opts := make([]sparse.Option, 0, len(full.SolverOptions)+1)
+		opts = append(opts, sparse.WithSpectrumStop(warmSpecTol, warmSpecPatience))
+		full.SolverOptions = append(opts, full.SolverOptions...)
+	}
 	if full.Metrics != nil {
 		// Thread the registry into the sparse solvers without mutating the
 		// caller's option slice.
@@ -177,6 +238,16 @@ func NewEstimator(cfg Config) (*Estimator, error) {
 	}
 	return &Estimator{cfg: full, met: newEstimatorMetrics(full.Metrics)}, nil
 }
+
+// Warm-mode spectrum-stop defaults: the solve ends once the magnitude
+// spectrum has moved by less than 0.01% (relative l2) for 3 consecutive
+// iterations — far tighter than the grid quantization downstream peak
+// detection imposes, and loose enough to convert warm seeds into large
+// iteration savings.
+const (
+	warmSpecTol      = 1e-4
+	warmSpecPatience = 3
+)
 
 // Config returns the effective (default-filled) configuration.
 func (e *Estimator) Config() Config { return e.cfg }
@@ -206,6 +277,27 @@ func BuildJointDictionary(arr wireless.Array, ofdm wireless.OFDM, thetaGrid, tau
 	return d
 }
 
+// BuildDelayDictionary constructs the delay factor of the joint dictionary:
+// one column g(tau_t) = [1, Gamma, ..., Gamma^{L-1}]ᵀ per grid delay, size
+// L x Ntau. Together with BuildAoADictionary it forms the Kronecker
+// factorization of BuildJointDictionary — entry ((l*M+m), (t*Ntheta+i)) of
+// the joint dictionary is g(tau_t)[l] * s(theta_i)[m] — which the sparse
+// solver exploits via sparse.WithKronecker on the warm serving path.
+func BuildDelayDictionary(ofdm wireless.OFDM, tauGrid []float64) *cmat.Matrix {
+	d := cmat.New(ofdm.NumSubcarriers, len(tauGrid))
+	col := make([]complex128, ofdm.NumSubcarriers)
+	for t, tau := range tauGrid {
+		gam := ofdm.PhaseFactor(tau)
+		cur := complex(1, 0)
+		for l := range col {
+			col[l] = cur
+			cur *= gam
+		}
+		d.SetCol(t, col)
+	}
+	return d
+}
+
 func (e *Estimator) getAoASolver() (*sparse.Solver, error) {
 	built := false
 	e.aoaOnce.Do(func() {
@@ -222,7 +314,19 @@ func (e *Estimator) getJointSolver() (*sparse.Solver, error) {
 	e.jointOnce.Do(func() {
 		built = true
 		dict := BuildJointDictionary(e.cfg.Array, e.cfg.OFDM, e.cfg.ThetaGrid, e.cfg.TauGrid)
-		e.jointSolver, e.jointErr = sparse.NewSolver(dict, e.cfg.SolverOptions...)
+		opts := e.cfg.SolverOptions
+		if e.cfg.Warm {
+			// Warm mode declares the joint dictionary's Kronecker structure so
+			// the solver iterates on the small delay and AoA factors (~18x
+			// fewer multiplies per matvec at the paper's dimensions). Appended
+			// locally — never into cfg.SolverOptions, which the AoA solver
+			// shares and whose dictionary has no such factorization.
+			opts = append(opts[:len(opts):len(opts)],
+				sparse.WithKronecker(
+					BuildDelayDictionary(e.cfg.OFDM, e.cfg.TauGrid),
+					BuildAoADictionary(e.cfg.Array, e.cfg.ThetaGrid)))
+		}
+		e.jointSolver, e.jointErr = sparse.NewSolver(dict, opts...)
 	})
 	e.recordDictAccess(built)
 	return e.jointSolver, e.jointErr
@@ -250,7 +354,7 @@ func (e *Estimator) recordDictAccess(built bool) {
 // fallback chain (fb builds the FISTA retry solver; OMP is the terminal
 // stage); without it the primary outcome is returned untouched, preserving
 // bit-identical legacy behavior.
-func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb func() (*sparse.Solver, error), y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
+func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb func() (*sparse.Solver, error), slot *warmSlot, y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
 	// Stage-boundary cancellation: a dead context skips the solve entirely.
 	// (The solver's iteration loop itself is not interruptible; the worst
 	// post-cancel overrun is one solve.)
@@ -262,9 +366,28 @@ func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb fu
 	if e.met != nil {
 		t0 = time.Now()
 	}
-	res, err := solver.SolveMulti(y, kappa)
+	var res *sparse.Result
+	var err error
+	if e.cfg.Warm && slot != nil {
+		// Seed from (a clone of) the cached state for this shape and publish
+		// the updated state back for the next solve on this dictionary.
+		k := y.Cols()
+		ws := slot.take(k)
+		res, err = solver.SolveMultiWarm(y, kappa, ws)
+		if err == nil {
+			slot.put(k, ws)
+		}
+	} else {
+		res, err = solver.SolveMulti(y, kappa)
+	}
 	if e.met != nil {
 		e.met.solveSeconds.Observe(time.Since(t0).Seconds())
+		if err == nil && res.Warm {
+			e.met.warmEngaged.Inc()
+			if saved := solver.MaxIters() - res.Iterations; saved > 0 {
+				e.met.warmIterSaved.Add(int64(saved))
+			}
+		}
 	}
 	sp.End()
 	if !e.cfg.Fallback || (err == nil && res.Converged) {
@@ -371,9 +494,11 @@ func (e *Estimator) fallbackOptions() []sparse.Option {
 }
 
 // kappaFor selects the sparsity weight for a measurement block:
-// KappaRatio * max row norm of AᴴY, the standard scale-free choice.
-func kappaFor(dict *cmat.Matrix, y *cmat.Matrix, ratio float64) float64 {
-	g := cmat.MulH(dict, y)
+// KappaRatio * max row norm of AᴴY, the standard scale-free choice. The
+// correlation runs through the solver so Kronecker-structured dictionaries
+// use their factored fast path.
+func kappaFor(solver *sparse.Solver, y *cmat.Matrix, ratio float64) float64 {
+	g := solver.DictMulH(y)
 	mx := 0.0
 	for i := 0; i < g.Rows(); i++ {
 		var n2 float64
@@ -416,8 +541,8 @@ func (e *Estimator) EstimateAoACtx(ctx context.Context, csi *wireless.CSI) (*spe
 			y.Set(m, l, csi.Data[m][l])
 		}
 	}
-	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
-	res, err := e.timedSolve(ctx, solver, e.aoaFallback(solver), y, kappa)
+	kappa := kappaFor(solver, y, e.cfg.KappaRatio)
+	res, err := e.timedSolve(ctx, solver, e.aoaFallback(solver), &e.aoaWarm, y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: AoA solve: %w", err)
 	}
@@ -494,8 +619,8 @@ func (e *Estimator) estimateJointBlock(ctx context.Context, packets []*wireless.
 		y = sv.TruncateLeft(keep)
 		spf.End()
 	}
-	kappa := kappaFor(solver.Dict(), y, e.cfg.KappaRatio)
-	res, err := e.timedSolve(ctx, solver, e.jointFallback(solver), y, kappa)
+	kappa := kappaFor(solver, y, e.cfg.KappaRatio)
+	res, err := e.timedSolve(ctx, solver, e.jointFallback(solver), &e.jointWarm, y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: joint solve: %w", err)
 	}

@@ -2,11 +2,7 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
-	"sync"
-
-	"roarray/internal/wireless"
 )
 
 // Point is a 2-D position in meters.
@@ -94,100 +90,15 @@ func LocalizeParallel(obs []APObservation, bounds Rect, step float64, workers in
 // the scan order, tie-breaking, and result bits are identical to
 // LocalizeParallel.
 func LocalizeParallelCtx(ctx context.Context, obs []APObservation, bounds Rect, step float64, workers int) (Point, error) {
-	if len(obs) < 2 {
-		return Point{}, fmt.Errorf("core: localization needs >= 2 AP observations, got %d", len(obs))
+	g, err := newGridSearch(ctx, obs, bounds, step)
+	if err != nil {
+		return Point{}, err
 	}
-	if bounds.MaxX <= bounds.MinX || bounds.MaxY <= bounds.MinY {
-		return Point{}, fmt.Errorf("core: empty localization bounds %+v", bounds)
+	best, err := g.flat(workers)
+	if err != nil {
+		return Point{}, err
 	}
-	if step <= 0 {
-		step = 0.1
-	}
-	weights := make([]float64, len(obs))
-	for i, o := range obs {
-		weights[i] = wireless.DBmToMilliwatt(o.RSSIdBm)
-		if o.Confidence > 0 {
-			weights[i] *= o.Confidence
-		}
-	}
-	nx := gridCount(bounds.MinX, bounds.MaxX, step)
-	ny := gridCount(bounds.MinY, bounds.MaxY, step)
-
-	// scan evaluates the contiguous column strip [xLo, xHi) in the same
-	// nested x-then-y order as a full serial sweep, keeping the first strict
-	// minimum (earliest x, then earliest y, among equal costs). The context
-	// is polled once per column — cheap next to the ny*len(obs) trig
-	// evaluations a column costs — bounding the post-cancel overrun to a
-	// single column per worker.
-	scan := func(xLo, xHi int) (Point, float64, error) {
-		best := Point{X: bounds.MinX, Y: bounds.MinY}
-		bestCost := math.Inf(1)
-		for ix := xLo; ix < xHi; ix++ {
-			if err := ctx.Err(); err != nil {
-				return best, bestCost, fmt.Errorf("core: grid search aborted: %w", err)
-			}
-			x := bounds.MinX + float64(ix)*step
-			for iy := 0; iy < ny; iy++ {
-				p := Point{X: x, Y: bounds.MinY + float64(iy)*step}
-				var cost float64
-				for i, o := range obs {
-					d := ExpectedAoA(o.Pos, o.AxisDeg, p) - o.AoADeg
-					cost += weights[i] * d * d
-				}
-				if cost < bestCost {
-					bestCost = cost
-					best = p
-				}
-			}
-		}
-		return best, bestCost, nil
-	}
-
-	if workers > nx {
-		workers = nx
-	}
-	if workers <= 1 {
-		best, _, err := scan(0, nx)
-		if err != nil {
-			return Point{}, err
-		}
-		return best, nil
-	}
-
-	type stripBest struct {
-		p    Point
-		cost float64
-		err  error
-	}
-	bests := make([]stripBest, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * nx / workers
-		hi := (w + 1) * nx / workers
-		wg.Add(1)
-		go func(slot, lo, hi int) {
-			defer wg.Done()
-			p, c, err := scan(lo, hi)
-			bests[slot] = stripBest{p: p, cost: c, err: err}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	// Reduce strips in scan order: strict < reproduces the serial sweep's
-	// first-minimum tie-breaking exactly. An aborted strip (all strips abort
-	// together — they watch the same context) invalidates the whole sweep.
-	best := bests[0]
-	if best.err != nil {
-		return Point{}, best.err
-	}
-	for _, b := range bests[1:] {
-		if b.err != nil {
-			return Point{}, b.err
-		}
-		if b.cost < best.cost {
-			best = b
-		}
-	}
-	return best.p, nil
+	return g.pointAt(best.ix, best.iy), nil
 }
 
 // gridCount returns the number of samples lo, lo+step, ... not exceeding

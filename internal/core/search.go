@@ -1,0 +1,548 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"roarray/internal/wireless"
+)
+
+// SearchMode selects the Eq. 19 grid-search strategy.
+type SearchMode int
+
+const (
+	// SearchCoarse (the zero value, and the default) runs the multi-
+	// resolution coarse-to-fine search: a decimated pass over the grid picks
+	// candidate cells, a Lipschitz safety margin keeps every cell that could
+	// still contain the optimum, and only those cells are refined at full
+	// resolution. The result is bit-identical to the flat scan by
+	// construction (see DESIGN.md §13); the strategy degrades to the flat
+	// scan whenever decimation cannot pay for itself.
+	SearchCoarse SearchMode = iota
+	// SearchFlat forces the legacy exhaustive scan of every grid cell.
+	SearchFlat
+	// SearchExact runs both strategies and cross-checks them bit-for-bit,
+	// returning ErrSearchMismatch on any divergence. It is the equivalence
+	// proof mode: slower than either strategy alone, meant for tests,
+	// quality gates, and debugging.
+	SearchExact
+)
+
+// String implements fmt.Stringer.
+func (m SearchMode) String() string {
+	switch m {
+	case SearchCoarse:
+		return "coarse"
+	case SearchFlat:
+		return "flat"
+	case SearchExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("searchmode(%d)", int(m))
+	}
+}
+
+// ParseSearchMode parses a mode name as accepted by the CLI -search flags:
+// "coarse" (or "coarse-fine"), "flat", "exact".
+func ParseSearchMode(s string) (SearchMode, error) {
+	switch s {
+	case "coarse", "coarse-fine":
+		return SearchCoarse, nil
+	case "flat":
+		return SearchFlat, nil
+	case "exact":
+		return SearchExact, nil
+	default:
+		return 0, fmt.Errorf("core: unknown search mode %q (want coarse, flat, or exact)", s)
+	}
+}
+
+// ErrSearchMismatch is returned by SearchExact when the coarse-to-fine result
+// differs from the flat scan in any bit — which would falsify the equivalence
+// argument the coarse strategy rests on.
+var ErrSearchMismatch = errors.New("core: coarse-to-fine search mismatched flat scan")
+
+// SearchConfig tunes the Eq. 19 grid search. The zero value selects the
+// coarse-to-fine strategy with default decimation; use Mode SearchFlat to
+// recover the legacy scan exactly.
+type SearchConfig struct {
+	// Mode selects the strategy (default SearchCoarse).
+	Mode SearchMode
+	// Decimation is the coarse-pass cell edge in full-resolution steps
+	// (default 8: one coarse sample per 8x8 block of 10 cm cells).
+	Decimation int
+	// TopK is the minimum number of best coarse cells always refined,
+	// regardless of the safety margin (default 4).
+	TopK int
+	// MarginScale multiplies the Lipschitz safety margin; 1 (the default) is
+	// already provably safe, larger values only widen the refined set.
+	MarginScale float64
+}
+
+func (c SearchConfig) withDefaults() SearchConfig {
+	if c.Decimation <= 1 {
+		c.Decimation = 8
+	}
+	if c.TopK <= 0 {
+		c.TopK = 4
+	}
+	if c.MarginScale < 1 {
+		c.MarginScale = 1
+	}
+	return c
+}
+
+// SearchStats reports what a localization search actually did.
+type SearchStats struct {
+	// Mode is the strategy that actually ran: "flat" (forced, degraded, or
+	// too-small grid), "coarse", or "exact".
+	Mode string
+	// FlatCells is the full-resolution grid size nx*ny — what a flat scan
+	// would evaluate.
+	FlatCells int
+	// CoarseCells is the number of decimated-pass samples evaluated.
+	CoarseCells int
+	// RefineCells is the number of full-resolution cells evaluated during
+	// refinement.
+	RefineCells int
+	// Candidates is the number of coarse cells selected for refinement.
+	Candidates int
+}
+
+// Evaluated returns the total number of cost evaluations performed.
+func (s SearchStats) Evaluated() int {
+	if s.Mode == "flat" {
+		return s.FlatCells
+	}
+	return s.CoarseCells + s.RefineCells
+}
+
+// gridSearch carries the validated inputs of one Eq. 19 search. All
+// strategies address grid points by index and reconstruct coordinates with
+// the same float expressions, which is what makes their results comparable
+// bit for bit.
+type gridSearch struct {
+	ctx     context.Context
+	obs     []APObservation
+	weights []float64
+	bounds  Rect
+	step    float64
+	nx, ny  int
+}
+
+func newGridSearch(ctx context.Context, obs []APObservation, bounds Rect, step float64) (*gridSearch, error) {
+	if len(obs) < 2 {
+		return nil, fmt.Errorf("core: localization needs >= 2 AP observations, got %d", len(obs))
+	}
+	if bounds.MaxX <= bounds.MinX || bounds.MaxY <= bounds.MinY {
+		return nil, fmt.Errorf("core: empty localization bounds %+v", bounds)
+	}
+	if step <= 0 {
+		step = 0.1
+	}
+	weights := make([]float64, len(obs))
+	for i, o := range obs {
+		weights[i] = wireless.DBmToMilliwatt(o.RSSIdBm)
+		if o.Confidence > 0 {
+			weights[i] *= o.Confidence
+		}
+	}
+	return &gridSearch{
+		ctx:     ctx,
+		obs:     obs,
+		weights: weights,
+		bounds:  bounds,
+		step:    step,
+		nx:      gridCount(bounds.MinX, bounds.MaxX, step),
+		ny:      gridCount(bounds.MinY, bounds.MaxY, step),
+	}, nil
+}
+
+// pointAt reconstructs the grid point at (ix, iy) with the exact float
+// expressions of the legacy scan, so equal indices give equal bits.
+func (g *gridSearch) pointAt(ix, iy int) Point {
+	return Point{X: g.bounds.MinX + float64(ix)*g.step, Y: g.bounds.MinY + float64(iy)*g.step}
+}
+
+// costAt evaluates the Eq. 19 objective at grid point (ix, iy), with the
+// same per-term arithmetic and accumulation order as the legacy scan.
+func (g *gridSearch) costAt(ix, iy int) float64 {
+	p := g.pointAt(ix, iy)
+	var cost float64
+	for i, o := range g.obs {
+		d := ExpectedAoA(o.Pos, o.AxisDeg, p) - o.AoADeg
+		cost += g.weights[i] * d * d
+	}
+	return cost
+}
+
+// idxBest is a lexicographic (cost, ix, iy) candidate: the flat scan's
+// "first strict minimum in x-then-y order" tie-breaking is exactly the
+// lexicographic minimum over these triples.
+type idxBest struct {
+	cost   float64
+	ix, iy int
+}
+
+func noBest() idxBest { return idxBest{cost: math.Inf(1), ix: math.MaxInt, iy: math.MaxInt} }
+
+// less reports whether b beats o in the (cost, ix, iy) lexicographic order.
+func (b idxBest) less(o idxBest) bool {
+	if b.cost != o.cost {
+		return b.cost < o.cost
+	}
+	if b.ix != o.ix {
+		return b.ix < o.ix
+	}
+	return b.iy < o.iy
+}
+
+// flatStrip scans the contiguous column strip [xLo, xHi) in nested x-then-y
+// order, polling ctx once per column, and returns the lexicographic best.
+func (g *gridSearch) flatStrip(xLo, xHi int) (idxBest, error) {
+	best := noBest()
+	for ix := xLo; ix < xHi; ix++ {
+		if err := g.ctx.Err(); err != nil {
+			return best, fmt.Errorf("core: grid search aborted: %w", err)
+		}
+		for iy := 0; iy < g.ny; iy++ {
+			// Within the ascending scan, strict < keeps the earliest index
+			// pair among equal costs — the lexicographic minimum.
+			if cost := g.costAt(ix, iy); cost < best.cost {
+				best = idxBest{cost: cost, ix: ix, iy: iy}
+			}
+		}
+	}
+	return best, nil
+}
+
+// flat runs the exhaustive legacy scan, fanned out over up to workers
+// goroutines, and returns the lexicographic-best grid index.
+func (g *gridSearch) flat(workers int) (idxBest, error) {
+	if workers > g.nx {
+		workers = g.nx
+	}
+	if workers <= 1 {
+		return g.flatStrip(0, g.nx)
+	}
+	type stripBest struct {
+		best idxBest
+		err  error
+	}
+	bests := make([]stripBest, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * g.nx / workers
+		hi := (w + 1) * g.nx / workers
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			b, err := g.flatStrip(lo, hi)
+			bests[slot] = stripBest{best: b, err: err}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Strips partition the x range in order, so the lexicographic merge of
+	// strip winners equals the serial scan's first minimum. An aborted strip
+	// (all abort together — same context) invalidates the whole sweep.
+	out := noBest()
+	for _, b := range bests {
+		if b.err != nil {
+			return out, b.err
+		}
+		if b.best.less(out) {
+			out = b.best
+		}
+	}
+	return out, nil
+}
+
+// cellEval is the coarse pass output for one decimated cell: the objective
+// sampled at the cell's low corner (an actual grid point, hence an upper
+// bound on the global minimum) and a safety slack such that every grid point
+// in the cell has cost >= cost - slack.
+type cellEval struct {
+	cost  float64
+	slack float64
+}
+
+// coarseCell evaluates the decimated cell covering full-resolution indices
+// [ix0, ixHi) x [iy0, iyHi). The slack comes from a Lipschitz bound on the
+// objective over the cell: phi_i moves at most (180/pi)/d_i degrees per
+// meter when the AP is d_i meters away, so across the cell diameter rho the
+// per-AP term w_i*(phi_i-phihat_i)^2 moves at most
+// 2*w_i*gmax_i*(180/pi)/d_i*rho, with gmax_i bounding |phi_i - phihat_i|
+// over the cell. An AP closer than one grid step to the cell makes the bound
+// useless (and phi_i is discontinuous at the AP itself), so such cells get
+// infinite slack and are never pruned.
+func (g *gridSearch) coarseCell(ix0, ixHi, iy0, iyHi int) cellEval {
+	sx := g.bounds.MinX + float64(ix0)*g.step
+	sy := g.bounds.MinY + float64(iy0)*g.step
+	fx := g.bounds.MinX + float64(ixHi-1)*g.step
+	fy := g.bounds.MinY + float64(iyHi-1)*g.step
+	rho := math.Hypot(fx-sx, fy-sy)
+	p := Point{X: sx, Y: sy}
+	var ev cellEval
+	for i, o := range g.obs {
+		phi := ExpectedAoA(o.Pos, o.AxisDeg, p)
+		dev := phi - o.AoADeg
+		ev.cost += g.weights[i] * dev * dev
+		if math.IsInf(ev.slack, 1) {
+			continue
+		}
+		d := rectDist(o.Pos, sx, sy, fx, fy)
+		if d < g.step {
+			ev.slack = math.Inf(1)
+			continue
+		}
+		lphi := (180 / math.Pi) / d
+		// Two valid bounds on |phi(x) - phihat| over the cell: the Lipschitz
+		// growth from the sampled corner, and the global range of phi in
+		// [0, 180] against the fixed phihat.
+		gmax := math.Abs(dev) + lphi*rho
+		if cap := math.Max(math.Abs(o.AoADeg), math.Abs(180-o.AoADeg)); cap < gmax {
+			gmax = cap
+		}
+		ev.slack += 2 * g.weights[i] * gmax * lphi * rho
+	}
+	return ev
+}
+
+// rectDist returns the distance from p to the axis-aligned rectangle
+// [x0,x1] x [y0,y1] (zero when p is inside).
+func rectDist(p Point, x0, y0, x1, y1 float64) float64 {
+	dx := math.Max(0, math.Max(x0-p.X, p.X-x1))
+	dy := math.Max(0, math.Max(y0-p.Y, p.Y-y1))
+	return math.Hypot(dx, dy)
+}
+
+// cellRange returns the full-resolution index range a coarse cell covers.
+func cellRange(c, dec, n int) (lo, hi int) {
+	lo = c * dec
+	hi = lo + dec
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// coarseFine runs the multi-resolution search. It returns ok=false when the
+// strategy degraded to a flat scan (grid too small, or refinement would not
+// beat exhaustive search) — the caller falls back and reports Mode "flat".
+func (g *gridSearch) coarseFine(workers int, cfg SearchConfig, stats *SearchStats) (idxBest, bool, error) {
+	dec := cfg.Decimation
+	if g.nx < 2*dec || g.ny < 2*dec {
+		return noBest(), false, nil
+	}
+	ncx := (g.nx + dec - 1) / dec
+	ncy := (g.ny + dec - 1) / dec
+
+	// Coarse pass: evaluate every decimated cell, parallel over coarse-column
+	// strips with the same per-column ctx cadence as the flat scan.
+	cells := make([]cellEval, ncx*ncy)
+	cworkers := workers
+	if cworkers > ncx {
+		cworkers = ncx
+	}
+	if cworkers <= 1 {
+		cworkers = 1
+	}
+	errs := make([]error, cworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < cworkers; w++ {
+		lo := w * ncx / cworkers
+		hi := (w + 1) * ncx / cworkers
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			for cx := lo; cx < hi; cx++ {
+				if err := g.ctx.Err(); err != nil {
+					errs[slot] = fmt.Errorf("core: coarse grid search aborted: %w", err)
+					return
+				}
+				ix0, ixHi := cellRange(cx, dec, g.nx)
+				for cy := 0; cy < ncy; cy++ {
+					iy0, iyHi := cellRange(cy, dec, g.ny)
+					cells[cx*ncy+cy] = g.coarseCell(ix0, ixHi, iy0, iyHi)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return noBest(), true, err
+		}
+	}
+	stats.CoarseCells = len(cells)
+
+	// The best sampled cost bounds the global minimum from above (samples are
+	// grid points). A cell whose cost minus slack exceeds it cannot contain
+	// any grid point at or below the global minimum, so pruning it can drop
+	// neither the argmin nor any tied earlier index.
+	bound := math.Inf(1)
+	for _, c := range cells {
+		if c.cost < bound {
+			bound = c.cost
+		}
+	}
+	keep := make([]bool, len(cells))
+	for i, c := range cells {
+		keep[i] = c.cost-cfg.MarginScale*c.slack <= bound
+	}
+	// Belt and braces: always refine the TopK lowest-cost cells too. The
+	// margin rule already keeps them (their cost is near the bound), but this
+	// keeps the refined set non-degenerate under any future margin tuning.
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if cells[order[a]].cost != cells[order[b]].cost {
+			return cells[order[a]].cost < cells[order[b]].cost
+		}
+		return order[a] < order[b]
+	})
+	for i := 0; i < cfg.TopK && i < len(order); i++ {
+		keep[order[i]] = true
+	}
+
+	var cand []int
+	refineCells := 0
+	for id, k := range keep {
+		if !k {
+			continue
+		}
+		cand = append(cand, id)
+		ix0, ixHi := cellRange(id/ncy, dec, g.nx)
+		iy0, iyHi := cellRange(id%ncy, dec, g.ny)
+		refineCells += (ixHi - ix0) * (iyHi - iy0)
+	}
+	stats.Candidates = len(cand)
+	if stats.CoarseCells+refineCells >= stats.FlatCells {
+		// Refinement would not beat the exhaustive scan — degrade.
+		stats.CoarseCells, stats.Candidates = 0, 0
+		return noBest(), false, nil
+	}
+	stats.RefineCells = refineCells
+
+	// Refinement: evaluate every full-resolution point of every kept cell,
+	// parallel over candidate chunks, polling ctx once per cell column. Cells
+	// tile the grid disjointly, so the lexicographic reduce over all refined
+	// points reproduces the flat scan's tie-breaking exactly.
+	rworkers := workers
+	if rworkers > len(cand) {
+		rworkers = len(cand)
+	}
+	if rworkers <= 1 {
+		rworkers = 1
+	}
+	type chunkBest struct {
+		best idxBest
+		err  error
+	}
+	chunks := make([]chunkBest, rworkers)
+	var rwg sync.WaitGroup
+	for w := 0; w < rworkers; w++ {
+		lo := w * len(cand) / rworkers
+		hi := (w + 1) * len(cand) / rworkers
+		rwg.Add(1)
+		go func(slot, lo, hi int) {
+			defer rwg.Done()
+			best := noBest()
+			for _, id := range cand[lo:hi] {
+				ix0, ixHi := cellRange(id/ncy, dec, g.nx)
+				iy0, iyHi := cellRange(id%ncy, dec, g.ny)
+				for ix := ix0; ix < ixHi; ix++ {
+					if err := g.ctx.Err(); err != nil {
+						chunks[slot] = chunkBest{best: best, err: fmt.Errorf("core: refine search aborted: %w", err)}
+						return
+					}
+					for iy := iy0; iy < iyHi; iy++ {
+						if b := (idxBest{cost: g.costAt(ix, iy), ix: ix, iy: iy}); b.less(best) {
+							best = b
+						}
+					}
+				}
+			}
+			chunks[slot] = chunkBest{best: best}
+		}(w, lo, hi)
+	}
+	rwg.Wait()
+	out := noBest()
+	for _, c := range chunks {
+		if c.err != nil {
+			return out, true, c.err
+		}
+		if c.best.less(out) {
+			out = c.best
+		}
+	}
+	return out, true, nil
+}
+
+// LocalizeSearch is LocalizeSearchCtx with a background context.
+func LocalizeSearch(obs []APObservation, bounds Rect, step float64, workers int, cfg SearchConfig) (Point, SearchStats, error) {
+	return LocalizeSearchCtx(context.Background(), obs, bounds, step, workers, cfg)
+}
+
+// LocalizeSearchCtx runs the Eq. 19 localization with a configurable search
+// strategy. All strategies return bit-identical positions (see DESIGN.md §13
+// for the equivalence argument); they differ only in how many grid cells
+// they evaluate, reported in SearchStats. SearchExact additionally verifies
+// the equivalence at runtime and fails with ErrSearchMismatch if it does not
+// hold.
+func LocalizeSearchCtx(ctx context.Context, obs []APObservation, bounds Rect, step float64, workers int, cfg SearchConfig) (Point, SearchStats, error) {
+	g, err := newGridSearch(ctx, obs, bounds, step)
+	if err != nil {
+		return Point{}, SearchStats{}, err
+	}
+	cfg = cfg.withDefaults()
+	stats := SearchStats{FlatCells: g.nx * g.ny}
+
+	runFlat := func() (Point, SearchStats, error) {
+		stats.Mode = "flat"
+		best, err := g.flat(workers)
+		if err != nil {
+			return Point{}, stats, err
+		}
+		return g.pointAt(best.ix, best.iy), stats, nil
+	}
+
+	switch cfg.Mode {
+	case SearchFlat:
+		return runFlat()
+	case SearchExact:
+		stats.Mode = "exact"
+		cf, ran, err := g.coarseFine(workers, cfg, &stats)
+		if err != nil {
+			return Point{}, stats, err
+		}
+		fl, err := g.flat(workers)
+		if err != nil {
+			return Point{}, stats, err
+		}
+		if ran {
+			pc, pf := g.pointAt(cf.ix, cf.iy), g.pointAt(fl.ix, fl.iy)
+			if pc.X != pf.X || pc.Y != pf.Y || cf.cost != fl.cost {
+				return Point{}, stats, fmt.Errorf("%w: coarse-fine (%.17g, %.17g) cost %.17g vs flat (%.17g, %.17g) cost %.17g",
+					ErrSearchMismatch, pc.X, pc.Y, cf.cost, pf.X, pf.Y, fl.cost)
+			}
+		}
+		return g.pointAt(fl.ix, fl.iy), stats, nil
+	default: // SearchCoarse
+		best, ran, err := g.coarseFine(workers, cfg, &stats)
+		if err != nil {
+			return Point{}, stats, err
+		}
+		if !ran {
+			return runFlat()
+		}
+		stats.Mode = "coarse"
+		return g.pointAt(best.ix, best.iy), stats, nil
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testbedObservations builds a 6-AP observation set mirroring the committed
+// testbed geometry (18 m x 12 m hall, APs along the walls) for a source at
+// target, with AoA noise drawn from rng (nil for noiseless).
+func testbedObservations(target Point, rng *rand.Rand) []APObservation {
+	aps := []struct {
+		pos  Point
+		axis float64
+	}{
+		{Point{X: 0, Y: 0}, 0},
+		{Point{X: 9, Y: 0}, 0},
+		{Point{X: 18, Y: 0}, 90},
+		{Point{X: 18, Y: 12}, 180},
+		{Point{X: 9, Y: 12}, 180},
+		{Point{X: 0, Y: 12}, 270},
+	}
+	obs := make([]APObservation, len(aps))
+	for i, ap := range aps {
+		aoa := ExpectedAoA(ap.pos, ap.axis, target)
+		if rng != nil {
+			aoa += rng.NormFloat64() * 2
+			aoa = math.Max(0, math.Min(180, aoa))
+		}
+		obs[i] = APObservation{Pos: ap.pos, AxisDeg: ap.axis, AoADeg: aoa, RSSIdBm: -45 - 10*rand.New(rand.NewSource(int64(i))).Float64()}
+	}
+	return obs
+}
+
+var testbedRoom = Rect{MinX: 0, MinY: 0, MaxX: 18, MaxY: 12}
+
+// requireSameBits fails unless the two points are bit-for-bit equal.
+func requireSameBits(t *testing.T, name string, coarse, flat Point) {
+	t.Helper()
+	if math.Float64bits(coarse.X) != math.Float64bits(flat.X) || math.Float64bits(coarse.Y) != math.Float64bits(flat.Y) {
+		t.Fatalf("%s: coarse-fine argmin (%.17g, %.17g) != flat argmin (%.17g, %.17g)",
+			name, coarse.X, coarse.Y, flat.X, flat.Y)
+	}
+}
+
+// TestSearchCoarseFineMatchesFlatTestbed: on the committed testbed geometry,
+// the coarse-to-fine argmin equals the flat-scan argmin bitwise for a sweep
+// of source placements, both noiseless and with AoA noise, and SearchExact's
+// built-in cross-check agrees.
+func TestSearchCoarseFineMatchesFlatTestbed(t *testing.T) {
+	placements := []Point{
+		{X: 4.2, Y: 3.1}, {X: 9.0, Y: 6.0}, {X: 16.8, Y: 1.3},
+		{X: 1.0, Y: 10.9}, {X: 12.5, Y: 8.4}, {X: 17.9, Y: 11.8},
+		{X: 0.1, Y: 0.1}, {X: 6.66, Y: 4.44},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, noisy := range []bool{false, true} {
+		for _, target := range placements {
+			var r *rand.Rand
+			if noisy {
+				r = rng
+			}
+			obs := testbedObservations(target, r)
+			flat, fstats, err := LocalizeSearch(obs, testbedRoom, 0.1, 4, SearchConfig{Mode: SearchFlat})
+			if err != nil {
+				t.Fatalf("flat search: %v", err)
+			}
+			coarse, cstats, err := LocalizeSearch(obs, testbedRoom, 0.1, 4, SearchConfig{Mode: SearchCoarse})
+			if err != nil {
+				t.Fatalf("coarse search: %v", err)
+			}
+			requireSameBits(t, "testbed", coarse, flat)
+			if cstats.Mode != "coarse" {
+				t.Fatalf("expected coarse mode on the %dx-cell testbed grid, got %q", fstats.FlatCells, cstats.Mode)
+			}
+			if cstats.Evaluated() >= fstats.FlatCells {
+				t.Fatalf("coarse-fine evaluated %d cells, not below the flat %d", cstats.Evaluated(), fstats.FlatCells)
+			}
+			if _, _, err := LocalizeSearch(obs, testbedRoom, 0.1, 4, SearchConfig{Mode: SearchExact}); err != nil {
+				t.Fatalf("exact cross-check: %v", err)
+			}
+		}
+	}
+}
+
+// TestSearchCoarseFineMatchesFlatRandom: 25 random seeds generate random AP
+// geometries, bounds, steps, decimations, and noisy observations; the
+// coarse-to-fine argmin must equal the flat argmin bitwise on every one.
+func TestSearchCoarseFineMatchesFlatRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := 6 + 20*rng.Float64()
+		h := 6 + 14*rng.Float64()
+		room := Rect{MinX: -rng.Float64() * 3, MinY: -rng.Float64() * 3}
+		room.MaxX = room.MinX + w
+		room.MaxY = room.MinY + h
+		step := 0.05 + 0.1*rng.Float64()
+		nAPs := 2 + rng.Intn(5)
+		target := Point{
+			X: room.MinX + rng.Float64()*w,
+			Y: room.MinY + rng.Float64()*h,
+		}
+		obs := make([]APObservation, nAPs)
+		for i := range obs {
+			// APs on or near the room border, arbitrary axes.
+			p := Point{X: room.MinX + rng.Float64()*w, Y: room.MinY}
+			if rng.Intn(2) == 0 {
+				p = Point{X: room.MinX, Y: room.MinY + rng.Float64()*h}
+			}
+			axis := rng.Float64() * 360
+			obs[i] = APObservation{
+				Pos:     p,
+				AxisDeg: axis,
+				AoADeg:  math.Max(0, math.Min(180, ExpectedAoA(p, axis, target)+rng.NormFloat64()*3)),
+				RSSIdBm: -40 - rng.Float64()*25,
+			}
+		}
+		cfg := SearchConfig{Decimation: 4 + rng.Intn(10), TopK: 1 + rng.Intn(6)}
+		flat, _, err := LocalizeSearch(obs, room, step, 1+rng.Intn(4), SearchConfig{Mode: SearchFlat})
+		if err != nil {
+			t.Fatalf("seed %d: flat: %v", seed, err)
+		}
+		coarse, stats, err := LocalizeSearch(obs, room, step, 1+rng.Intn(4), cfg)
+		if err != nil {
+			t.Fatalf("seed %d: coarse: %v", seed, err)
+		}
+		requireSameBits(t, "random geometry", coarse, flat)
+		if stats.Mode == "coarse" && stats.Evaluated() >= stats.FlatCells {
+			t.Fatalf("seed %d: coarse mode evaluated %d of %d flat cells", seed, stats.Evaluated(), stats.FlatCells)
+		}
+	}
+}
+
+// TestSearchTranslationMetamorphic: translating every AP and the bounds by
+// the same offset translates the argmin by that offset (up to one grid step,
+// since the shifted grid's float coordinates are not bit-aligned).
+func TestSearchTranslationMetamorphic(t *testing.T) {
+	target := Point{X: 5.3, Y: 7.7}
+	obs := testbedObservations(target, nil)
+	base, _, err := LocalizeSearch(obs, testbedRoom, 0.1, 2, SearchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Point{{X: 3.25, Y: -1.5}, {X: -20, Y: 40}, {X: 0.05, Y: 0.05}} {
+		moved := make([]APObservation, len(obs))
+		for i, o := range obs {
+			moved[i] = o
+			moved[i].Pos = Point{X: o.Pos.X + d.X, Y: o.Pos.Y + d.Y}
+		}
+		room := Rect{
+			MinX: testbedRoom.MinX + d.X, MinY: testbedRoom.MinY + d.Y,
+			MaxX: testbedRoom.MaxX + d.X, MaxY: testbedRoom.MaxY + d.Y,
+		}
+		got, _, err := LocalizeSearch(moved, room, 0.1, 2, SearchConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Point{X: base.X + d.X, Y: base.Y + d.Y}
+		if got.Dist(want) > 0.1+1e-9 {
+			t.Fatalf("translation by (%v, %v): argmin moved to (%v, %v), want within a step of (%v, %v)",
+				d.X, d.Y, got.X, got.Y, want.X, want.Y)
+		}
+	}
+}
+
+// TestGridCountTable: table-driven edge cases for the grid sampling count.
+func TestGridCountTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		lo, hi, step float64
+		want         int
+	}{
+		{"unit 10cm", 0, 1, 0.1, 11},
+		{"testbed x", 0, 18, 0.1, 181},
+		{"step larger than extent", 0, 1, 5, 1},
+		{"step equals extent", 0, 2, 2, 2},
+		{"zero extent", 3, 3, 0.1, 1},
+		{"negative range", 5, 2, 0.1, 1},
+		{"edge slack keeps far sample", 0, 0.3, 0.1, 4},
+	}
+	for _, c := range cases {
+		if got := gridCount(c.lo, c.hi, c.step); got != c.want {
+			t.Errorf("%s: gridCount(%v, %v, %v) = %d, want %d", c.name, c.lo, c.hi, c.step, got, c.want)
+		}
+	}
+}
+
+// TestSearchEdgeCases: degenerate bounds, tiny grids, clipped windows, and
+// top-k clamping — every coarse run must evaluate strictly fewer cells than
+// the flat scan, and every degenerate input must degrade or error cleanly.
+func TestSearchEdgeCases(t *testing.T) {
+	obs := testbedObservations(Point{X: 5, Y: 5}, nil)
+
+	t.Run("degenerate bounds MinX==MaxX", func(t *testing.T) {
+		_, _, err := LocalizeSearch(obs, Rect{MinX: 2, MaxX: 2, MinY: 0, MaxY: 5}, 0.1, 1, SearchConfig{})
+		if err == nil || !strings.Contains(err.Error(), "empty localization bounds") {
+			t.Fatalf("want empty-bounds error, got %v", err)
+		}
+	})
+
+	t.Run("step larger than extent degrades to flat", func(t *testing.T) {
+		p, stats, err := LocalizeSearch(obs, Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}, 5, 1, SearchConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Mode != "flat" || stats.FlatCells != 1 {
+			t.Fatalf("want flat single-cell scan, got mode %q cells %d", stats.Mode, stats.FlatCells)
+		}
+		if p.X != 0 || p.Y != 0 {
+			t.Fatalf("single-cell argmin should be the origin corner, got (%v, %v)", p.X, p.Y)
+		}
+	})
+
+	t.Run("grid below 2x decimation degrades to flat", func(t *testing.T) {
+		flat, fs, err := LocalizeSearch(obs, Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}, 0.1, 1, SearchConfig{Mode: SearchFlat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, cs, err := LocalizeSearch(obs, Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}, 0.1, 1, SearchConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Mode != "flat" {
+			t.Fatalf("11x11 grid with decimation 8 should degrade, got mode %q", cs.Mode)
+		}
+		requireSameBits(t, "degraded", coarse, flat)
+		if cs.Evaluated() != fs.FlatCells {
+			t.Fatalf("degraded run evaluated %d, want flat %d", cs.Evaluated(), fs.FlatCells)
+		}
+	})
+
+	t.Run("windows clipped at grid borders", func(t *testing.T) {
+		// 181 x 121 grid with decimation 7: 181 = 25*7 + 6, so the last cell
+		// column and row are clipped short. Equivalence must survive clipping.
+		cfg := SearchConfig{Decimation: 7}
+		flat, _, err := LocalizeSearch(obs, testbedRoom, 0.1, 2, SearchConfig{Mode: SearchFlat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, stats, err := LocalizeSearch(obs, testbedRoom, 0.1, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Mode != "coarse" {
+			t.Fatalf("want coarse mode, got %q", stats.Mode)
+		}
+		requireSameBits(t, "clipped windows", coarse, flat)
+		if stats.Evaluated() >= stats.FlatCells {
+			t.Fatalf("clipped run evaluated %d of %d flat cells", stats.Evaluated(), stats.FlatCells)
+		}
+	})
+
+	t.Run("topk exceeding cell count clamps", func(t *testing.T) {
+		// A grid of ~3x2 coarse cells with TopK far larger: every cell is a
+		// candidate, which must degrade (refining everything cannot beat
+		// flat) and still match bitwise.
+		room := Rect{MinX: 0, MaxX: 2.4, MinY: 0, MaxY: 1.7}
+		flat, _, err := LocalizeSearch(obs, room, 0.1, 1, SearchConfig{Mode: SearchFlat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, stats, err := LocalizeSearch(obs, room, 0.1, 1, SearchConfig{Decimation: 8, TopK: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameBits(t, "topk clamp", coarse, flat)
+		if stats.Mode != "flat" {
+			t.Fatalf("refine-everything should degrade to flat, got %q", stats.Mode)
+		}
+	})
+
+	t.Run("overlapping topk and margin candidates dedupe", func(t *testing.T) {
+		// TopK cells are a subset of the margin survivors; the union must not
+		// double count refined cells past the flat total.
+		_, stats, err := LocalizeSearch(obs, testbedRoom, 0.1, 2, SearchConfig{TopK: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Mode == "coarse" && stats.RefineCells > stats.FlatCells {
+			t.Fatalf("refined %d cells out of %d flat — candidate overlap double-counted", stats.RefineCells, stats.FlatCells)
+		}
+		if stats.Mode == "coarse" && stats.Evaluated() >= stats.FlatCells {
+			t.Fatalf("coarse run evaluated %d of %d flat cells", stats.Evaluated(), stats.FlatCells)
+		}
+	})
+}
+
+// countdownCtx reports healthy for the first n Err polls, then cancels —
+// a deterministic way to land a cancellation inside a chosen search phase.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestSearchCtxAbortMidRefine: a context that dies after the coarse pass
+// aborts during refinement with a wrapped context error, well inside 3 s.
+func TestSearchCtxAbortMidRefine(t *testing.T) {
+	obs := testbedObservations(Point{X: 9, Y: 6}, nil)
+	// Serial coarse pass over a 181x121 grid with decimation 8 polls ctx
+	// once per coarse column (23 polls); refinement polls once per cell
+	// column. Budget past the coarse pass but below its own completion.
+	ctx := &countdownCtx{Context: context.Background(), remaining: 24}
+	start := time.Now()
+	_, _, err := LocalizeSearchCtx(ctx, obs, testbedRoom, 0.1, 1, SearchConfig{})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "refine") {
+		t.Fatalf("cancellation should land in the refine pass, got %v", err)
+	}
+	if elapsed >= 3*time.Second {
+		t.Fatalf("mid-refine abort took %v, want < 3s", elapsed)
+	}
+}
+
+// TestSearchCtxAbortCoarse: an already-dead context aborts in the coarse
+// pass before any refinement.
+func TestSearchCtxAbortCoarse(t *testing.T) {
+	obs := testbedObservations(Point{X: 9, Y: 6}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := LocalizeSearchCtx(ctx, obs, testbedRoom, 0.1, 4, SearchConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "coarse") {
+		t.Fatalf("dead ctx should abort the coarse pass, got %v", err)
+	}
+}
+
+// TestSearchCtxTimedAbortLargeGrid mirrors the legacy flat-scan abort test
+// on the coarse-fine path: cancelling mid-flight on an ~8M-point grid
+// returns a wrapped context error in far less than a full sweep would take.
+func TestSearchCtxTimedAbortLargeGrid(t *testing.T) {
+	room := Rect{MinX: -70, MinY: -70, MaxX: 70, MaxY: 70}
+	obs := testbedObservations(Point{X: 3, Y: 4}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := LocalizeSearchCtx(ctx, obs, room, 0.05, 2, SearchConfig{MarginScale: 1e9})
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("want nil or wrapped context.Canceled, got %v", err)
+	}
+	if elapsed >= 3*time.Second {
+		t.Fatalf("timed abort took %v, want < 3s", elapsed)
+	}
+}
+
+// TestParseSearchMode covers the CLI flag surface.
+func TestParseSearchMode(t *testing.T) {
+	for in, want := range map[string]SearchMode{
+		"coarse": SearchCoarse, "coarse-fine": SearchCoarse,
+		"flat": SearchFlat, "exact": SearchExact,
+	} {
+		got, err := ParseSearchMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSearchMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("SearchMode(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseSearchMode("bogus"); err == nil {
+		t.Error("ParseSearchMode(bogus) should fail")
+	}
+}

@@ -63,6 +63,11 @@ type Config struct {
 	// Disturb stalls only its own request (until the context dies), never
 	// the dispatcher.
 	Disturb func(ctx context.Context)
+	// Search, when non-nil, overrides the engine's configured grid-search
+	// strategy on every request this server admits. All strategies return
+	// bit-identical positions, so this only trades evaluation counts (and
+	// enables SearchExact cross-checking in staging deployments).
+	Search *core.SearchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -329,6 +334,9 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if s.cfg.Search != nil {
+		creq.Search = s.cfg.Search
 	}
 	if m, l := wreq.Dims(); m != s.antennas || l != s.subcarrier {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf(

@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"roarray/internal/cmat"
+)
+
+// kronOps applies a dictionary with Kronecker structure without ever
+// touching the dense matrix: when A[(l*M+m), (t*C+i)] = G[l][t] * S[m][i]
+// for a row factor G (L x T) and a column factor S (M x C) — exactly the
+// shape of the joint space-delay steering dictionary, whose atoms are
+// products of a delay response and an array response — a matvec factors into
+// two small contractions. For the paper's dimensions (90 x 920 from factors
+// 30 x 20 and 3 x 46) that is ~18x fewer multiplies per iteration than the
+// dense product. The factored results are numerically equivalent but not
+// bit-identical to the dense kernels (the products associate differently),
+// which is why the structure is opt-in (WithKronecker) and engaged only on
+// the warm serving path, never under the bit-reproducible figure pipeline.
+type kronOps struct {
+	ll, tt int // row factor shape (L x T)
+	mm, cc int // column factor shape (M x C)
+	// Flat row-major factor data plus precomputed conjugates, so the
+	// per-iteration contractions run on raw slices.
+	g, s         []complex128
+	gConj, sConj []complex128
+}
+
+func newKronOps(g, s *cmat.Matrix) *kronOps {
+	k := &kronOps{
+		ll: g.Rows(), tt: g.Cols(),
+		mm: s.Rows(), cc: s.Cols(),
+	}
+	k.g = append([]complex128(nil), g.Data()...)
+	k.s = append([]complex128(nil), s.Data()...)
+	k.gConj = make([]complex128, len(k.g))
+	for i, v := range k.g {
+		k.gConj[i] = cmplx.Conj(v)
+	}
+	k.sConj = make([]complex128, len(k.s))
+	for i, v := range k.s {
+		k.sConj[i] = cmplx.Conj(v)
+	}
+	return k
+}
+
+// scratchLen is the intermediate buffer length mulInto/mulHInto need.
+func (k *kronOps) scratchLen() int { return k.mm * k.tt }
+
+// mulInto computes out = A v for v with nc columns:
+// P[m][t] = sum_i S[m][i] v[(t*C+i)]  then  out[(l*M+m)] = sum_t G[l][t] P[m][t].
+func (k *kronOps) mulInto(v, out *cmat.Matrix, scratch []complex128) {
+	nc := v.Cols()
+	vd, od := v.Data(), out.Data()
+	for c := 0; c < nc; c++ {
+		for t := 0; t < k.tt; t++ {
+			base := t*k.cc*nc + c
+			for m := 0; m < k.mm; m++ {
+				srow := k.s[m*k.cc : (m+1)*k.cc]
+				var acc complex128
+				idx := base
+				for _, sv := range srow {
+					acc += sv * vd[idx]
+					idx += nc
+				}
+				scratch[m*k.tt+t] = acc
+			}
+		}
+		for l := 0; l < k.ll; l++ {
+			grow := k.g[l*k.tt : (l+1)*k.tt]
+			obase := l*k.mm*nc + c
+			for m := 0; m < k.mm; m++ {
+				prow := scratch[m*k.tt : (m+1)*k.tt]
+				var acc complex128
+				for t, gv := range grow {
+					acc += gv * prow[t]
+				}
+				od[obase+m*nc] = acc
+			}
+		}
+	}
+}
+
+// mulHInto computes out = Aᴴ w for w with nc columns:
+// Q[m][t] = sum_l conj(G[l][t]) w[(l*M+m)]  then
+// out[(t*C+i)] = sum_m conj(S[m][i]) Q[m][t].
+func (k *kronOps) mulHInto(w, out *cmat.Matrix, scratch []complex128) {
+	nc := w.Cols()
+	wd, od := w.Data(), out.Data()
+	for c := 0; c < nc; c++ {
+		for m := 0; m < k.mm; m++ {
+			qrow := scratch[m*k.tt : (m+1)*k.tt]
+			for t := range qrow {
+				qrow[t] = 0
+			}
+			for l := 0; l < k.ll; l++ {
+				wv := wd[(l*k.mm+m)*nc+c]
+				if wv == 0 {
+					continue
+				}
+				grow := k.gConj[l*k.tt : (l+1)*k.tt]
+				for t, gv := range grow {
+					qrow[t] += gv * wv
+				}
+			}
+		}
+		for t := 0; t < k.tt; t++ {
+			obase := t*k.cc*nc + c
+			for i := 0; i < k.cc; i++ {
+				var acc complex128
+				for m := 0; m < k.mm; m++ {
+					acc += k.sConj[m*k.cc+i] * scratch[m*k.tt+t]
+				}
+				od[obase+i*nc] = acc
+			}
+		}
+	}
+}
+
+// validateKron checks that the dense dictionary a really is the Kronecker
+// product of the declared factors, elementwise within tol. The full check is
+// one pass over a (construction-time only).
+func validateKron(a, g, s *cmat.Matrix, tol float64) error {
+	mm, cc := s.Rows(), s.Cols()
+	ll, tt := g.Rows(), g.Cols()
+	if a.Rows() != ll*mm || a.Cols() != tt*cc {
+		return fmt.Errorf("sparse: Kronecker factors (%dx%d)x(%dx%d) do not tile the %dx%d dictionary",
+			ll, tt, mm, cc, a.Rows(), a.Cols())
+	}
+	for l := 0; l < ll; l++ {
+		for m := 0; m < mm; m++ {
+			arow := a.RowView(l*mm + m)
+			grow := g.RowView(l)
+			srow := s.RowView(m)
+			for t := 0; t < tt; t++ {
+				for i := 0; i < cc; i++ {
+					want := grow[t] * srow[i]
+					if d := cmplx.Abs(arow[t*cc+i] - want); d > tol*(1+cmplx.Abs(want)) {
+						return fmt.Errorf("sparse: dictionary entry (%d,%d) deviates from Kronecker factors by %.3g",
+							l*mm+m, t*cc+i, d)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ type Solver struct {
 
 	chol *cmat.Cholesky // ADMM: factor of (rho I + A Aᴴ), size m x m
 	lip  float64        // FISTA/ISTA: ||A||_2^2
+	kron *kronOps       // non-nil when WithKronecker declared factor structure
 }
 
 // solverTelemetry caches the metric handles a solver records into, resolved
@@ -27,6 +28,8 @@ type Solver struct {
 type solverTelemetry struct {
 	solves       *obs.Counter
 	nonconverged *obs.Counter
+	earlyStops   *obs.Counter
+	warmSolves   *obs.Counter
 	iterations   *obs.Histogram
 }
 
@@ -37,6 +40,8 @@ func newSolverTelemetry(reg *obs.Registry) *solverTelemetry {
 	return &solverTelemetry{
 		solves:       reg.Counter("sparse.solve.total"),
 		nonconverged: reg.Counter("sparse.solve.nonconverged_total"),
+		earlyStops:   reg.Counter("sparse.solve.earlystop_total"),
+		warmSolves:   reg.Counter("sparse.solve.warm_total"),
 		iterations:   reg.Histogram("sparse.solve.iterations", 5, 10, 25, 50, 100, 200, 400, 800),
 	}
 }
@@ -52,6 +57,12 @@ func (t *solverTelemetry) record(res *Result) {
 	if !res.Converged {
 		t.nonconverged.Inc()
 	}
+	if res.EarlyStopped {
+		t.earlyStops.Inc()
+	}
+	if res.Warm {
+		t.warmSolves.Inc()
+	}
 }
 
 // NewSolver prepares a solver for the m x n dictionary a.
@@ -64,6 +75,15 @@ func NewSolver(a *cmat.Matrix, opts ...Option) (*Solver, error) {
 		return nil, fmt.Errorf("sparse: max iterations must be positive, got %d", o.maxIters)
 	}
 	s := &Solver{a: a, opts: o, tele: newSolverTelemetry(o.metrics)}
+	if (o.kronRow == nil) != (o.kronCol == nil) {
+		return nil, fmt.Errorf("sparse: Kronecker structure needs both a row and a column factor")
+	}
+	if o.kronRow != nil {
+		if err := validateKron(a, o.kronRow, o.kronCol, 1e-9); err != nil {
+			return nil, err
+		}
+		s.kron = newKronOps(o.kronRow, o.kronCol)
+	}
 	switch o.method {
 	case MethodADMM:
 		if o.rho < 0 {
@@ -106,6 +126,23 @@ func NewSolver(a *cmat.Matrix, opts ...Option) (*Solver, error) {
 // Dict returns the dictionary this solver was built for.
 func (s *Solver) Dict() *cmat.Matrix { return s.a }
 
+// DictMulH returns Aᴴ y, routed through the Kronecker factors when the
+// solver has them (callers computing data-dependent regularization like
+// kappa = ratio * max ||row(AᴴY)|| then share the solver's fast path).
+// Without factors this is exactly cmat.MulH.
+func (s *Solver) DictMulH(y *cmat.Matrix) *cmat.Matrix {
+	if s.kron != nil {
+		out := cmat.New(s.a.Cols(), y.Cols())
+		s.kron.mulHInto(y, out, make([]complex128, s.kron.scratchLen()))
+		return out
+	}
+	return cmat.MulH(s.a, y)
+}
+
+// MaxIters returns the configured iteration cap, the reference point for
+// iterations-saved accounting on warm-started solves.
+func (s *Solver) MaxIters() int { return s.opts.maxIters }
+
 // Solve recovers a sparse coefficient vector for a single measurement y,
 // minimizing 1/2||Ax-y||^2 + kappa||x||_1.
 func (s *Solver) Solve(y []complex128, kappa float64) (*Result, error) {
@@ -132,7 +169,7 @@ func (s *Solver) SolveMulti(y *cmat.Matrix, kappa float64) (*Result, error) {
 	case MethodADMM:
 		return s.solveADMM(y, kappa)
 	default:
-		return s.solveProximal(y, kappa)
+		return s.solveProximal(y, kappa, nil)
 	}
 }
 
@@ -146,10 +183,11 @@ func (s *Solver) matHook(iter int, z *cmat.Matrix, buf []float64) {
 }
 
 func rowMagsInto(x *cmat.Matrix, dst []float64) {
+	d := x.Data()
+	k := x.Cols()
 	for i := 0; i < x.Rows(); i++ {
 		var n2 float64
-		for j := 0; j < x.Cols(); j++ {
-			v := x.At(i, j)
+		for _, v := range d[i*k : (i+1)*k] {
 			n2 += real(v)*real(v) + imag(v)*imag(v)
 		}
 		dst[i] = math.Sqrt(n2)
@@ -170,47 +208,81 @@ func (s *Solver) objective(x, y *cmat.Matrix, kappa float64) float64 {
 func (s *Solver) solveADMM(y *cmat.Matrix, kappa float64) (*Result, error) {
 	// Plain LASSO is the weighted problem with uniform unit weights; the
 	// full ADMM loop lives in solveADMMWeighted (reweighted.go).
-	return s.solveADMMWeighted(y, kappa, nil)
+	return s.solveADMMWeighted(y, kappa, nil, nil)
 }
 
-func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64) (*Result, error) {
+func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64, ws *WarmState) (*Result, error) {
 	n := s.a.Cols()
+	m := s.a.Rows()
 	k := y.Cols()
 	step := 1 / s.lip
 	t := kappa * step
 	accelerated := s.opts.method == MethodFISTA
 
+	// All iteration scratch is allocated here, never inside the loop, and
+	// never stored on the Solver (Solvers are shared across goroutines).
 	x := cmat.New(n, k) // current iterate
 	xPrev := cmat.New(n, k)
-	w := cmat.New(n, k) // extrapolation point
+	w := cmat.New(n, k)    // extrapolation point
+	aw := cmat.New(m, k)   // A w, then the residual A w - Y in place
+	grad := cmat.New(n, k) // Aᴴ(Aw - Y)
+	rowBuf := make([]complex128, k)
 	mags := make([]float64, n)
 	theta := 1.0
+	var kscratch []complex128
+	if s.kron != nil {
+		kscratch = make([]complex128, s.kron.scratchLen())
+	}
 
+	// Warm start: resume from the previous primal iterate with the momentum
+	// reset (restarting theta keeps FISTA's extrapolation stable from an
+	// arbitrary seed). The seed is accepted only if it scores a lower
+	// objective than the cold start at zero — a seed from an unrelated
+	// measurement (a different location, a reshuffled batch) fails that test
+	// and the solve runs cold rather than spending iterations escaping it.
+	warm := ws.seedable(s.opts.method, n, k)
+	if warm {
+		copyInto(x, ws.primary)
+		yn := y.FrobNorm()
+		if s.seedObjective(x, y, kappa, nil, aw, kscratch) >= 0.5*yn*yn {
+			zeroMat(x)
+			warm = false
+		}
+		copyInto(w, x)
+	}
+	stop := newSpecStop(s.opts, n)
+
+	xd, pd, wd, gd := x.Data(), xPrev.Data(), w.Data(), grad.Data()
+	stepC := complex(step, 0)
 	iters := 0
 	converged := false
+	early := false
 	for it := 1; it <= s.opts.maxIters; it++ {
 		iters = it
 		// Gradient of the smooth part at w: Aᴴ(Aw - Y).
-		grad := cmat.MulH(s.a, cmat.Sub(cmat.Mul(s.a, w), y))
-		copyInto(xPrev, x)
-		row := make([]complex128, k)
+		if s.kron != nil {
+			s.kron.mulInto(w, aw, kscratch)
+			subInto(aw, y, aw)
+			s.kron.mulHInto(aw, grad, kscratch)
+		} else {
+			mulInto(s.a, w, aw)
+			subInto(aw, y, aw)
+			mulHInto(s.a, aw, grad)
+		}
+		copy(pd, xd)
 		for i := 0; i < n; i++ {
-			for j := 0; j < k; j++ {
-				row[j] = w.At(i, j) - complex(step, 0)*grad.At(i, j)
+			wrow, grow := wd[i*k:(i+1)*k], gd[i*k:(i+1)*k]
+			for j := range rowBuf {
+				rowBuf[j] = wrow[j] - stepC*grow[j]
 			}
-			GroupSoftThreshold(row, row, t)
-			for j := 0; j < k; j++ {
-				x.Set(i, j, row[j])
-			}
+			GroupSoftThreshold(xd[i*k:(i+1)*k], rowBuf, t)
 		}
 
 		if accelerated {
 			thetaNext := (1 + math.Sqrt(1+4*theta*theta)) / 2
-			beta := (theta - 1) / thetaNext
-			for i := 0; i < n; i++ {
-				for j := 0; j < k; j++ {
-					w.Set(i, j, x.At(i, j)+complex(beta, 0)*(x.At(i, j)-xPrev.At(i, j)))
-				}
+			beta := complex((theta-1)/thetaNext, 0)
+			for idx := range wd {
+				wd[idx] = xd[idx] + beta*(xd[idx]-pd[idx])
 			}
 			theta = thetaNext
 		} else {
@@ -219,30 +291,75 @@ func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64) (*Result, error) {
 
 		s.matHook(it, x, mags)
 
-		diff := cmat.Sub(x, xPrev).FrobNorm()
+		diff := subFrobNorm(x, xPrev)
 		ref := math.Max(x.FrobNorm(), 1e-12)
-		if diff <= s.opts.absTol+s.opts.relTol*ref {
+		tol := s.opts.absTol + s.opts.relTol*ref
+		if diff <= tol {
 			converged = true
+			break
+		}
+		// Spectrum stability alone is not a sound stop: the iterate can
+		// plateau with a frozen spectrum far from the optimum and jump later
+		// (see specResidualSlack). Require the step size to be within a slack
+		// factor of the full criterion before trusting it.
+		if stop.stable(x) && diff <= specResidualSlack*tol {
+			converged, early = true, true
 			break
 		}
 	}
 
+	ws.store(s.opts.method, n, k, x, nil)
 	rowMagsInto(x, mags)
+	obj := 0.0
+	if s.kron != nil {
+		obj = s.seedObjective(x, y, kappa, nil, aw, kscratch)
+	} else {
+		obj = s.objective(x, y, kappa)
+	}
 	res := &Result{
-		Solver:     s.opts.method.String(),
-		X:          matToColumns(x),
-		RowMags:    mags,
-		Iterations: iters,
-		Converged:  converged,
-		Objective:  s.objective(x, y, kappa),
+		Solver:       s.opts.method.String(),
+		X:            matToColumns(x),
+		RowMags:      mags,
+		Iterations:   iters,
+		Converged:    converged,
+		EarlyStopped: early,
+		Warm:         warm,
+		Objective:    obj,
 	}
 	s.tele.record(res)
 	return res, nil
 }
 
+// seedObjective evaluates 1/2||AX-Y||_F^2 + kappa*sum_i w_i||X_i||_2 using
+// the caller's m x k scratch (and the Kronecker factors when available). It
+// backs the warm-seed acceptance test: a seed is only worth keeping if it
+// beats the zero cold start's objective 1/2||Y||_F^2.
+func (s *Solver) seedObjective(x, y *cmat.Matrix, kappa float64, weights []float64, ax *cmat.Matrix, kscratch []complex128) float64 {
+	if s.kron != nil {
+		s.kron.mulInto(x, ax, kscratch)
+	} else {
+		mulBatchInto(s.a, x, ax)
+	}
+	fit := subFrobNorm(ax, y)
+	var l1 float64
+	for i := 0; i < x.Rows(); i++ {
+		wt := 1.0
+		if weights != nil {
+			wt = weights[i]
+		}
+		l1 += wt * rowNorm(x.RowView(i))
+	}
+	return 0.5*fit*fit + kappa*l1
+}
+
 func copyInto(dst, src *cmat.Matrix) {
-	for i := 0; i < src.Rows(); i++ {
-		dst.SetRow(i, src.Row(i))
+	copy(dst.Data(), src.Data())
+}
+
+func zeroMat(m *cmat.Matrix) {
+	d := m.Data()
+	for i := range d {
+		d[i] = 0
 	}
 }
 

@@ -1,0 +1,195 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roarray/internal/cmat"
+)
+
+// burstMeasurements builds a 64-packet burst of slowly varying measurements:
+// the k-sparse ground truth drifts a little per packet (phases rotate,
+// magnitudes wobble) the way consecutive packets of one transmission do, so
+// neighboring solves have neighboring solutions — the regime warm starts are
+// for.
+func burstMeasurements(rng *rand.Rand, a *cmat.Matrix, xTrue []complex128, packets int, noise float64) []*cmat.Matrix {
+	m := a.Rows()
+	x := append([]complex128(nil), xTrue...)
+	out := make([]*cmat.Matrix, packets)
+	for t := 0; t < packets; t++ {
+		for j := range x {
+			if x[j] == 0 {
+				continue
+			}
+			dm := 1 + 0.01*rng.NormFloat64()
+			dp := 0.02 * rng.NormFloat64()
+			rot := complex(math.Cos(dp), math.Sin(dp))
+			x[j] *= complex(dm, 0) * rot
+		}
+		y := a.MulVec(x)
+		for i := 0; i < m; i++ {
+			y[i] += complex(rng.NormFloat64(), rng.NormFloat64()) * complex(noise, 0)
+		}
+		ym := cmat.New(m, 1)
+		ym.SetCol(0, y)
+		out[t] = ym
+	}
+	return out
+}
+
+// specDist returns the relative l2 distance between two magnitude spectra.
+func specDist(a, b []float64) float64 {
+	var dn, n2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		dn += d * d
+		n2 += b[i] * b[i]
+	}
+	return math.Sqrt(dn / math.Max(n2, 1e-24))
+}
+
+// TestWarmMatchesColdSpectrumBurst: across a 64-packet burst, a warm-started
+// chain (ADMM and FISTA) converges per packet to the same spectrum as a cold
+// solve within solver tolerance, and — with the spectrum stop enabled — the
+// chain spends strictly fewer total iterations than the cold solves.
+func TestWarmMatchesColdSpectrumBurst(t *testing.T) {
+	for _, method := range []Method{MethodADMM, MethodFISTA} {
+		t.Run(method.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			a, xTrue, _, _ := makeSparseProblem(rng, 24, 96, 3, 0)
+			burst := burstMeasurements(rng, a, xTrue, 64, 0.005)
+
+			cold, err := NewSolver(a, WithMethod(method), WithMaxIters(400))
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := NewSolver(a, WithMethod(method), WithMaxIters(400), WithSpectrumStop(1e-4, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ws := &WarmState{}
+			kappa := 0.05
+			coldIters, warmIters := 0, 0
+			for pkt, y := range burst {
+				cr, err := cold.SolveMulti(y, kappa)
+				if err != nil {
+					t.Fatalf("packet %d cold: %v", pkt, err)
+				}
+				wr, err := warm.SolveMultiWarm(y, kappa, ws)
+				if err != nil {
+					t.Fatalf("packet %d warm: %v", pkt, err)
+				}
+				if pkt > 0 && !wr.Warm {
+					t.Fatalf("packet %d: chained solve did not engage the warm seed", pkt)
+				}
+				if d := specDist(wr.RowMags, cr.RowMags); d > 5e-3 {
+					t.Fatalf("packet %d: warm spectrum diverged from cold by %.3g relative l2", pkt, d)
+				}
+				coldIters += cr.Iterations
+				warmIters += wr.Iterations
+			}
+			if warmIters >= coldIters {
+				t.Fatalf("warm chain spent %d iterations, cold %d — warm start saved nothing", warmIters, coldIters)
+			}
+			t.Logf("%s: cold %d iters, warm %d iters (%.1fx)", method, coldIters, warmIters, float64(coldIters)/float64(warmIters))
+		})
+	}
+}
+
+// TestWarmStateIncompatibleRunsCold: a state from a different shape or
+// method is ignored, the solve runs cold bit-identical to SolveMulti, and
+// the state is overwritten with the new shape.
+func TestWarmStateIncompatibleRunsCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, _, y, _ := makeSparseProblem(rng, 16, 48, 2, 0.01)
+	s, err := NewSolver(a, WithMaxIters(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ym := cmat.New(len(y), 1)
+	ym.SetCol(0, y)
+
+	// A state sized for a different problem.
+	ws := &WarmState{}
+	ws.store(MethodADMM, 99, 1, cmat.New(99, 1), cmat.New(99, 1))
+
+	ref, err := s.SolveMulti(ym, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SolveMultiWarm(ym, 0.1, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Warm {
+		t.Fatal("incompatible state must not mark the solve warm")
+	}
+	if got.Iterations != ref.Iterations {
+		t.Fatalf("cold-equivalent solve took %d iterations, reference %d", got.Iterations, ref.Iterations)
+	}
+	for i := range ref.X[0] {
+		if got.X[0][i] != ref.X[0][i] {
+			t.Fatalf("coefficient %d differs from the cold reference", i)
+		}
+	}
+	if !ws.seedable(MethodADMM, a.Cols(), 1) {
+		t.Fatal("state was not refreshed to the new problem shape")
+	}
+}
+
+// TestWarmStateClone: clones are deep — mutating the original's matrices
+// must not leak into the clone.
+func TestWarmStateClone(t *testing.T) {
+	ws := &WarmState{}
+	p := cmat.New(4, 1)
+	p.Set(0, 0, 1)
+	ws.store(MethodADMM, 4, 1, p, p)
+	c := ws.Clone()
+	ws.primary.Set(0, 0, 42)
+	if c.primary.At(0, 0) == ws.primary.At(0, 0) {
+		t.Fatal("clone shares primary storage with the original")
+	}
+	if (*WarmState)(nil).Clone() != nil {
+		t.Fatal("nil clone must stay nil")
+	}
+	if (*WarmState)(nil).Valid() {
+		t.Fatal("nil state must not be valid")
+	}
+}
+
+// TestSpectrumStopDisabledBitIdentical: with the stop disabled (default), a
+// warm=nil SolveMultiWarm is bit-identical to SolveMulti, preserving the
+// legacy numerics golden tests pin.
+func TestSpectrumStopDisabledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, method := range []Method{MethodADMM, MethodFISTA, MethodISTA} {
+		a, _, y, _ := makeSparseProblem(rng, 16, 48, 2, 0.01)
+		s, err := NewSolver(a, WithMethod(method), WithMaxIters(150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ym := cmat.New(len(y), 1)
+		ym.SetCol(0, y)
+		r1, err := s.SolveMulti(ym, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s.SolveMultiWarm(ym, 0.1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Iterations != r2.Iterations || r1.Objective != r2.Objective {
+			t.Fatalf("%v: SolveMultiWarm(nil) diverged from SolveMulti", method)
+		}
+		for i := range r1.X[0] {
+			if r1.X[0][i] != r2.X[0][i] {
+				t.Fatalf("%v: coefficient %d differs", method, i)
+			}
+		}
+		if r2.EarlyStopped {
+			t.Fatalf("%v: early stop engaged while disabled", method)
+		}
+	}
+}

@@ -214,6 +214,44 @@ func LocalizeParallelCtx(ctx context.Context, obs []APObservation, bounds Rect, 
 	return core.LocalizeParallelCtx(ctx, obs, bounds, step, workers)
 }
 
+// Grid-search strategy types. All strategies return bit-identical positions;
+// they differ only in how many grid cells they evaluate (see SearchStats).
+type (
+	// SearchConfig tunes the Eq. 19 grid search (zero value = coarse-to-fine).
+	SearchConfig = core.SearchConfig
+	// SearchMode selects the search strategy.
+	SearchMode = core.SearchMode
+	// SearchStats reports what a localization search actually did.
+	SearchStats = core.SearchStats
+)
+
+// Search modes: the default multi-resolution coarse-to-fine search, the
+// legacy flat scan, and the cross-checking equivalence-proof mode.
+const (
+	SearchCoarse = core.SearchCoarse
+	SearchFlat   = core.SearchFlat
+	SearchExact  = core.SearchExact
+)
+
+// ErrSearchMismatch is returned by SearchExact if the coarse-to-fine result
+// ever diverges from the flat scan.
+var ErrSearchMismatch = core.ErrSearchMismatch
+
+// ParseSearchMode parses a -search flag value: "coarse" (or "coarse-fine"),
+// "flat", "exact".
+func ParseSearchMode(s string) (SearchMode, error) { return core.ParseSearchMode(s) }
+
+// LocalizeSearch runs the Eq. 19 localization with a configurable search
+// strategy and reports how many grid cells each pass evaluated.
+func LocalizeSearch(obs []APObservation, bounds Rect, step float64, workers int, cfg SearchConfig) (Point, SearchStats, error) {
+	return core.LocalizeSearch(obs, bounds, step, workers, cfg)
+}
+
+// LocalizeSearchCtx is LocalizeSearch under a context.
+func LocalizeSearchCtx(ctx context.Context, obs []APObservation, bounds Rect, step float64, workers int, cfg SearchConfig) (Point, SearchStats, error) {
+	return core.LocalizeSearchCtx(ctx, obs, bounds, step, workers, cfg)
+}
+
 // NewEngine returns a batch localization engine sharing est across a pool of
 // workers (workers <= 0 selects runtime.GOMAXPROCS).
 func NewEngine(est *Estimator, workers int) (*Engine, error) {
