@@ -9,9 +9,9 @@ GO ?= go
 # so the full -race sweep stays affordable.
 RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/...
 
-.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault
+.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke
 
-check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke
+check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +75,7 @@ fuzz-smoke:
 	$(GO) test ./internal/serve/ -run XXX -fuzz '^FuzzRequestDecode$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/core/ -run XXX -fuzz '^FuzzSanitizeBurst$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/quality/ -run XXX -fuzz '^FuzzReadArtifact$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/obs/ -run XXX -fuzz '^FuzzEventDecode$$' -fuzztime $(FUZZ_TIME)
 
 # Graceful-degradation regression gate: re-run the fault-injection sweep at
 # the baseline's recorded settings and compare against BENCH_fault.json.
@@ -95,6 +96,12 @@ bless-fault:
 # SIGTERM drain. Finishes in well under 30 s.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the request-centric observability stack (roaserve with
+# events + trace + /metrics, roaload tagging request ids, roastat rendering,
+# diffing, and joining one id across the event log and the trace).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Re-record the committed BENCH_serve.json serving baseline (longer run,
 # pinned knobs). Review the diff before committing.

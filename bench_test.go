@@ -9,9 +9,12 @@
 package roarray_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"roarray"
 	"roarray/internal/core"
@@ -203,7 +206,7 @@ func BenchmarkADMMvsFISTA(b *testing.B) {
 // batchWorkload builds the 6-AP testbed batch used by the serial/parallel
 // engine comparison: requests at the default deployment with reduced grids
 // so one batch stays in benchmark range.
-func batchWorkload(b *testing.B, reg *roarray.Metrics) (*roarray.Estimator, []*core.LocalizeRequest) {
+func batchWorkload(b testing.TB, reg *roarray.Metrics) (*roarray.Estimator, []*core.LocalizeRequest) {
 	b.Helper()
 	dep := testbed.Default()
 	reqs, _, err := dep.BatchRequests(8, 4, testbed.ScenarioConfig{Band: testbed.BandHigh}, 1)
@@ -264,6 +267,168 @@ func BenchmarkLocalizeBatchParallel(b *testing.B) { benchLocalizeBatch(b, 0, nil
 // cost (a handful of atomic updates and two clock reads per request).
 func BenchmarkLocalizeBatchSerialMetrics(b *testing.B) {
 	benchLocalizeBatch(b, 1, roarray.NewMetrics())
+}
+
+// --- Observability overhead ---------------------------------------------
+
+// obsBatchBench runs the serial testbed batch the way the serving layer
+// does — per-request contexts through LocalizeBatchEachCtx — either with
+// metrics only, or with the full request-observability path on top: request
+// ids on every context (tagging spans and histogram exemplars), one wide
+// event logged per request, and SLO window observation.
+type obsBatchBench struct {
+	eng    *roarray.Engine
+	reqs   []*core.LocalizeRequest
+	ctxs   []context.Context
+	ids    []string
+	events *roarray.EventLog
+	slo    *roarray.SLO
+}
+
+// lightBatchWorkload is a scaled-down batchWorkload for timing tests: the
+// same pipeline shape at ~1/20 the per-batch cost, which makes the relative
+// overhead bound *stricter* (the fixed per-request obs cost is divided by
+// less base work).
+func lightBatchWorkload(tb testing.TB, reg *roarray.Metrics) (*roarray.Estimator, []*core.LocalizeRequest) {
+	tb.Helper()
+	dep := testbed.Default()
+	reqs, _, err := dep.BatchRequests(4, 2, testbed.ScenarioConfig{Band: testbed.BandHigh}, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ofdm := roarray.Intel5300OFDM()
+	est, err := roarray.NewEstimator(roarray.Config{
+		Array:         roarray.Intel5300Array(),
+		OFDM:          ofdm,
+		ThetaGrid:     roarray.UniformGrid(0, 180, 31),
+		TauGrid:       roarray.UniformGrid(0, ofdm.MaxToA(), 12),
+		SolverOptions: []sparse.Option{sparse.WithMaxIters(50)},
+		Metrics:       reg,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return est, reqs
+}
+
+func newObsBatchBench(tb testing.TB, full, light bool) *obsBatchBench {
+	tb.Helper()
+	reg := roarray.NewMetrics()
+	var est *roarray.Estimator
+	var reqs []*core.LocalizeRequest
+	if light {
+		est, reqs = lightBatchWorkload(tb, reg)
+	} else {
+		est, reqs = batchWorkload(tb, reg)
+	}
+	eng, err := roarray.NewEngine(est, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bb := &obsBatchBench{eng: eng, reqs: reqs,
+		ctxs: make([]context.Context, len(reqs)),
+		ids:  make([]string, len(reqs))}
+	for i := range reqs {
+		bb.ctxs[i] = context.Background()
+	}
+	if full {
+		for i := range reqs {
+			bb.ids[i] = roarray.NewRequestID()
+			bb.ctxs[i] = roarray.WithRequestID(context.Background(), bb.ids[i])
+		}
+		bb.events = roarray.NewEventLog(io.Discard, 4096)
+		bb.slo = roarray.NewSLO(roarray.SLOConfig{})
+		bb.slo.Bind(reg)
+	}
+	// Warm the dictionary/factorization caches outside any timer.
+	if _, errs := eng.LocalizeBatch(reqs[:1]); errs[0] != nil {
+		tb.Fatal(errs[0])
+	}
+	return bb
+}
+
+func (bb *obsBatchBench) run(tb testing.TB) {
+	t0 := time.Now()
+	results, errs := bb.eng.LocalizeBatchEachCtx(context.Background(), bb.reqs, bb.ctxs)
+	elapsed := time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if bb.events == nil {
+			continue
+		}
+		res := results[i]
+		bb.events.Log(roarray.RequestEvent{
+			ID: bb.ids[i], Outcome: "ok", Status: 200,
+			TotalMillis:    elapsed.Seconds() * 1e3,
+			BatchSize:      len(bb.reqs),
+			SearchMode:     res.Search.Mode,
+			CellsEvaluated: res.Search.Evaluated(),
+			Solver:         res.Links[0].Solve.Solver,
+			Est:            []float64{res.Position.X, res.Position.Y},
+		})
+		bb.slo.Observe(true, elapsed)
+	}
+}
+
+func (bb *obsBatchBench) close() { bb.events.Close() }
+
+// BenchmarkLocalizeBatchSerialObs is the serial batch with the full request
+// observability stack engaged; the delta against ...SerialMetrics is the
+// event-log + exemplar + SLO cost per request.
+func BenchmarkLocalizeBatchSerialObs(b *testing.B) {
+	bb := newObsBatchBench(b, true, false)
+	defer bb.close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb.run(b)
+	}
+}
+
+// TestObsOverheadBudget pins the enabled observability path's cost: the full
+// stack (ids, events, exemplars, SLO) must stay within 5% of the
+// metrics-only batch. Min-of-k timing with retries keeps scheduler noise
+// from failing a healthy build; a real regression (e.g. a lock or an
+// allocation per observation on the solve path) fails all three attempts.
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	plain := newObsBatchBench(t, false, true)
+	full := newObsBatchBench(t, true, true)
+	defer full.close()
+	const iters = 6
+	// Interleave the two sides so frequency scaling and scheduler drift hit
+	// both equally, and compare best-of-k (the least-perturbed run of each).
+	measurePair := func() (base, obs time.Duration) {
+		base, obs = time.Duration(1<<63-1), time.Duration(1<<63-1)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			plain.run(t)
+			if d := time.Since(t0); d < base {
+				base = d
+			}
+			t0 = time.Now()
+			full.run(t)
+			if d := time.Since(t0); d < obs {
+				obs = d
+			}
+		}
+		return base, obs
+	}
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		base, obs := measurePair()
+		ratio := float64(obs) / float64(base)
+		if ratio <= 1.05 {
+			return
+		}
+		last = fmt.Sprintf("attempt %d: full obs %v vs metrics-only %v (ratio %.3f > 1.05)",
+			attempt+1, obs, base, ratio)
+		t.Log(last)
+	}
+	t.Fatal("observability overhead over budget: " + last)
 }
 
 // BenchmarkLocalizeGridSearch measures the Eq. 19 grid search over the

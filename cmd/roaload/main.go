@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roarray/internal/obs"
 	"roarray/internal/serve"
 	"roarray/internal/testbed"
 )
@@ -74,6 +75,16 @@ type Summary struct {
 	LatencyMsP99    float64 `json:"latencyMsP99"`
 	MeanBatchSize   float64 `json:"meanBatchSize"`
 	MeanQueueMillis float64 `json:"meanQueueMillis"`
+
+	// SLOLatencyMs is the latency objective attainment was judged against;
+	// SLOAttainment is the fraction of all issued requests that completed OK
+	// within it (rejections and errors count against it, client-side).
+	SLOLatencyMs  float64 `json:"sloLatencyMs"`
+	SLOAttainment float64 `json:"sloAttainment"`
+	// IDMismatches counts responses whose X-Request-Id header or body
+	// requestId did not echo the id the client sent — any nonzero value means
+	// the trace/log join key is broken.
+	IDMismatches int64 `json:"idMismatches"`
 }
 
 func main() {
@@ -101,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "also write the summary, indented, to this file")
 	minOK := fs.Int64("min-ok", 0, "gate: fail unless at least this many requests completed")
 	minMeanBatch := fs.Float64("min-mean-batch", 0, "gate: fail unless the mean observed batch size reaches this")
+	sloLatencyMs := fs.Float64("slo-latency-ms", 0, "SLO latency objective in ms for attainment (0 = preset default)")
+	sloOK := fs.Float64("slo-ok", 0, "gate: fail unless SLO attainment reaches this fraction (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,7 +151,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	fmt.Fprintf(stderr, "roaload: %s-loop against %s for %v\n", *mode, target, *duration)
-	agg := newAggregator()
+	objectiveMs := *sloLatencyMs
+	if objectiveMs <= 0 {
+		objectiveMs = float64(ps.SLO.LatencyObjective) / float64(time.Millisecond)
+	}
+	agg := newAggregator(objectiveMs)
 	client := &http.Client{Timeout: 2 * *duration}
 	start := time.Now()
 	if *mode == "closed" {
@@ -187,6 +204,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *minMeanBatch > 0 && sum.MeanBatchSize < *minMeanBatch {
 		return fmt.Errorf("gate: mean batch size %.2f, need >= %.2f", sum.MeanBatchSize, *minMeanBatch)
 	}
+	if sum.IDMismatches > 0 {
+		return fmt.Errorf("%d responses did not echo the client's X-Request-Id", sum.IDMismatches)
+	}
+	if *sloOK > 0 && sum.SLOAttainment < *sloOK {
+		return fmt.Errorf("gate: SLO attainment %.4f (<= %.0fms), need >= %.4f",
+			sum.SLOAttainment, objectiveMs, *sloOK)
+	}
 	return nil
 }
 
@@ -211,29 +235,41 @@ func resolveAddr(addr, addrFile string) (string, error) {
 // aggregator accumulates per-request observations under one lock; load
 // worker goroutines are I/O-bound so contention is negligible.
 type aggregator struct {
-	mu        sync.Mutex
-	latencies []float64 // ms, successful requests only
-	batchSum  float64
-	queueSum  float64
-	ok        int64
-	r429      int64
-	r503      int64
-	t504      int64
-	transport int64
-	otherErrs int64
-	total     int64
+	objectiveMs float64
+	mu          sync.Mutex
+	latencies   []float64 // ms, successful requests only
+	batchSum    float64
+	queueSum    float64
+	ok          int64
+	fastOK      int64
+	idMismatch  int64
+	r429        int64
+	r503        int64
+	t504        int64
+	transport   int64
+	otherErrs   int64
+	total       int64
 }
 
-func newAggregator() *aggregator { return &aggregator{} }
+func newAggregator(objectiveMs float64) *aggregator {
+	return &aggregator{objectiveMs: objectiveMs}
+}
 
-func (a *aggregator) record(status int, latency time.Duration, resp *serve.Response) {
+func (a *aggregator) record(status int, latency time.Duration, resp *serve.Response, idOK bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.total++
+	if !idOK {
+		a.idMismatch++
+	}
 	switch status {
 	case http.StatusOK:
 		a.ok++
-		a.latencies = append(a.latencies, latency.Seconds()*1e3)
+		ms := latency.Seconds() * 1e3
+		a.latencies = append(a.latencies, ms)
+		if a.objectiveMs > 0 && ms <= a.objectiveMs {
+			a.fastOK++
+		}
 		if resp != nil {
 			a.batchSum += float64(resp.BatchSize)
 			a.queueSum += resp.QueueMillis
@@ -295,34 +331,51 @@ func (a *aggregator) summarize(elapsed time.Duration) Summary {
 		sum.MeanBatchSize = a.batchSum / float64(a.ok)
 		sum.MeanQueueMillis = a.queueSum / float64(a.ok)
 	}
+	sum.SLOLatencyMs = a.objectiveMs
+	sum.IDMismatches = a.idMismatch
+	if a.total > 0 {
+		sum.SLOAttainment = float64(a.fastOK) / float64(a.total)
+	}
 	return sum
 }
 
-// post issues one request and records its outcome.
+// post issues one request — tagged with a fresh X-Request-Id — and records
+// its outcome, verifying the server echoed the id on the header (every
+// status) and in the body (200s): the round trip that makes client logs
+// joinable against server traces, events, and exemplars.
 func post(client *http.Client, url string, body []byte, agg *aggregator) {
-	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	rid := obs.NewRequestID()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		agg.record(-1, 0, nil)
+		agg.record(-1, 0, nil, true)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		agg.record(-1, 0, nil, true)
 		return
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	latency := time.Since(t0)
 	if err != nil {
-		agg.record(-1, 0, nil)
+		agg.record(-1, 0, nil, true)
 		return
 	}
+	idOK := resp.Header.Get("X-Request-Id") == rid
 	if resp.StatusCode != http.StatusOK {
-		agg.record(resp.StatusCode, latency, nil)
+		agg.record(resp.StatusCode, latency, nil, idOK)
 		return
 	}
 	var sr serve.Response
 	if err := json.Unmarshal(raw, &sr); err != nil {
-		agg.record(-2, latency, nil)
+		agg.record(-2, latency, nil, idOK)
 		return
 	}
-	agg.record(http.StatusOK, latency, &sr)
+	agg.record(http.StatusOK, latency, &sr, idOK && sr.RequestID == rid)
 }
 
 // runClosed: workers issue requests back-to-back until the deadline (or the

@@ -60,6 +60,9 @@ type obsSpec struct {
 
 // response is the JSON output schema.
 type response struct {
+	// RequestID tags the run: the -request-id flag's value (sanitized) or a
+	// minted id. Spans in the -trace file carry the same id.
+	RequestID      string  `json:"requestId"`
 	X              float64 `json:"x"`
 	Y              float64 `json:"y"`
 	Observations   int     `json:"observations"`
@@ -83,6 +86,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	search := fs.String("search", "coarse", "grid-search strategy: coarse (multi-resolution), flat (exhaustive), exact (run both, cross-check); the answer is identical for all")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	traceFile := fs.String("trace", "", "write a JSONL span trace of the grid search to this file")
+	requestID := fs.String("request-id", "", "tag the run with this request id (empty = mint one); echoed in the output and on every trace span")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,7 +103,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer srv.Close()
 		fmt.Fprintf(stderr, "roalocate: metrics on http://%s/metrics\n", srv.Addr())
 	}
-	ctx := context.Background()
+	rid := roarray.SanitizeRequestID(*requestID)
+	if rid == "" {
+		rid = roarray.NewRequestID()
+	}
+	ctx := roarray.WithRequestID(context.Background(), rid)
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -159,10 +167,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	reg.Counter("roalocate.requests_total").Inc()
-	reg.Histogram("roalocate.grid.seconds").Observe(time.Since(start).Seconds())
+	reg.Histogram("roalocate.grid.seconds").ObserveExemplar(time.Since(start).Seconds(), rid)
 	enc := json.NewEncoder(stdout)
 	return enc.Encode(response{
-		X: pos.X, Y: pos.Y, Observations: len(observations),
+		RequestID: rid,
+		X:         pos.X, Y: pos.Y, Observations: len(observations),
 		SearchMode: stats.Mode, CellsEvaluated: stats.Evaluated(),
 	})
 }

@@ -112,8 +112,15 @@ func TestTraceFlag(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "run.trace.jsonl")
 	var out bytes.Buffer
-	if err := run([]string{"-input", "-", "-trace", path}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
+	if err := run([]string{"-input", "-", "-trace", path, "-request-id", "trace-me"}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+	var resp response
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.RequestID != "trace-me" {
+		t.Fatalf("response requestId %q, want trace-me", resp.RequestID)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -128,9 +135,31 @@ func TestTraceFlag(t *testing.T) {
 	for _, ev := range events {
 		if ev.Name == "localize.grid" && ev.DurNs >= 0 {
 			found = true
+			if ev.Req != "trace-me" {
+				t.Fatalf("localize.grid span req %q, want trace-me", ev.Req)
+			}
 		}
 	}
 	if !found {
 		t.Fatalf("trace has no localize.grid span (%d events)", len(events))
+	}
+}
+
+// TestRequestIDMinted: without -request-id the tool mints a 16-hex id.
+func TestRequestIDMinted(t *testing.T) {
+	var sample bytes.Buffer
+	if err := run([]string{"-sample"}, strings.NewReader(""), &sample, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", "-"}, bytes.NewReader(sample.Bytes()), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.RequestID) != 16 {
+		t.Fatalf("minted requestId %q, want 16 hex chars", resp.RequestID)
 	}
 }

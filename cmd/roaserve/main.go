@@ -71,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	traceFile := fs.String("trace", "", "write a JSONL span trace of every request to this file")
+	eventsFile := fs.String("events", "", "write one wide JSON request event per completed request to this file")
+	sloLatencyMs := fs.Float64("slo-latency-ms", 0, "SLO latency objective in milliseconds (0 = preset default)")
+	sloTarget := fs.Float64("slo-target", 0, "SLO attainment target in (0,1) (0 = preset default)")
 	warm := fs.Bool("warm", false, "warm-start solvers from the previous packet's iterates and use Kronecker-factored matvecs (same positions, fewer iterations)")
 	search := fs.String("search", "", "grid-search strategy override: coarse, flat, or exact (empty keeps the engine default)")
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +121,27 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		defer f.Close()
 		tracer = obs.NewTracer(f)
 	}
+	var events *obs.EventLog
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			return fmt.Errorf("create events file: %w", err)
+		}
+		defer f.Close()
+		events = obs.NewEventLog(f, 256)
+		defer events.Close()
+	}
+	// The SLO defaults come from the preset so server and load generator agree
+	// on the objective; the flags override per run.
+	sloCfg := ps.SLO
+	if *sloLatencyMs > 0 {
+		sloCfg.LatencyObjective = time.Duration(*sloLatencyMs * float64(time.Millisecond))
+	}
+	if *sloTarget > 0 {
+		sloCfg.Target = *sloTarget
+	}
+	slo := obs.NewSLO(sloCfg)
+	slo.Bind(reg)
 	if *metricsAddr != "" {
 		dbg, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
@@ -135,6 +159,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		RequestTimeout: *requestTimeout,
 		Metrics:        reg,
 		Tracer:         tracer,
+		Events:         events,
+		SLO:            slo,
 		Search:         searchCfg,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"roarray/internal/obs"
 	"roarray/internal/serve"
 	"roarray/internal/testbed"
 )
@@ -22,6 +23,7 @@ import (
 func TestRunServesAndDrains(t *testing.T) {
 	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addr")
+	eventsFile := filepath.Join(dir, "events.jsonl")
 	stop := make(chan os.Signal, 1)
 	var stdout, stderr bytes.Buffer
 	done := make(chan error, 1)
@@ -32,6 +34,7 @@ func TestRunServesAndDrains(t *testing.T) {
 			"-preset", "smoke",
 			"-workers", "2",
 			"-batch-linger", "1ms",
+			"-events", eventsFile,
 		}, &stdout, &stderr, stop)
 	}()
 
@@ -69,7 +72,13 @@ func TestRunServesAndDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.Post("http://"+addr+"/v1/localize", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/localize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", "roaserve-e2e")
+	resp, err = http.DefaultClient.Do(hreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +90,9 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if sr.BatchSize < 1 || sr.TotalMillis <= 0 {
 		t.Fatalf("nonsense response: %+v", sr)
+	}
+	if sr.RequestID != "roaserve-e2e" {
+		t.Fatalf("response requestId %q, want the header's id", sr.RequestID)
 	}
 
 	stop <- syscall.SIGTERM
@@ -97,6 +109,24 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Fatal("server still reachable after drain")
+	}
+	// The -events file holds the wide request event for the POST above.
+	raw, err := os.ReadFile(eventsFile)
+	if err != nil {
+		t.Fatalf("events file: %v", err)
+	}
+	evs, err := obs.ReadRequestEvents(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decode events: %v", err)
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.ID == "roaserve-e2e" && ev.Outcome == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ok event for roaserve-e2e in %d events:\n%s", len(evs), raw)
 	}
 }
 

@@ -180,6 +180,10 @@ type LinkResult struct {
 	// Sanitize reports what admission sanitization did to the link's packet
 	// burst; nil when the burst was clean.
 	Sanitize *BurstReport
+	// Solve summarizes the sparse solve that produced this link's spectrum:
+	// which algorithm, how many iterations, whether warm start or the
+	// fallback chain engaged. Zero value when the link failed before solving.
+	Solve SolveInfo
 }
 
 // LocalizeResult is the outcome of one request.
@@ -188,6 +192,9 @@ type LocalizeResult struct {
 	Position Point
 	// Links holds the per-AP estimates in request order.
 	Links []LinkResult
+	// Search reports what the Eq. 19 grid search actually did (mode and
+	// cells evaluated) for this request.
+	Search SearchStats
 }
 
 // validate checks a request before work is scheduled for it.
@@ -236,17 +243,17 @@ func (e *Engine) estimateLink(ctx context.Context, in *LinkInput) LinkResult {
 		conf = rep.Confidence()
 		report = &rep
 	}
-	peak, err := e.est.EstimateDirectAoACtx(ctx, packets)
+	peak, info, err := e.est.EstimateDirectAoAInfoCtx(ctx, packets)
 	if err != nil {
 		e.met.recordLinkFailure()
 		if report != nil {
 			// Estimation failed on a burst already flagged faulty: keep the
 			// broadside fallback but at the floor weight.
-			return LinkResult{AoADeg: fallbackAoA, Err: err, Confidence: confidenceFloor, Sanitize: report}
+			return LinkResult{AoADeg: fallbackAoA, Err: err, Confidence: confidenceFloor, Sanitize: report, Solve: info}
 		}
-		return LinkResult{AoADeg: fallbackAoA, Err: err}
+		return LinkResult{AoADeg: fallbackAoA, Err: err, Solve: info}
 	}
-	return LinkResult{AoADeg: peak.ThetaDeg, Peak: peak, Confidence: conf, Sanitize: report}
+	return LinkResult{AoADeg: peak.ThetaDeg, Peak: peak, Confidence: conf, Sanitize: report, Solve: info}
 }
 
 func (m *engineMetrics) recordLinkFailure() {
@@ -341,8 +348,11 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 	}
 	e.met.recordSearch(stats)
 	out.Position = pos
+	out.Search = stats
 	if e.met != nil {
-		e.met.localizeSecs.Observe(time.Since(t0).Seconds())
+		// The exemplar joins this request's latency bucket back to its
+		// request ID (empty when the caller didn't tag the context).
+		e.met.localizeSecs.ObserveExemplar(time.Since(t0).Seconds(), obs.RequestIDFrom(ctx))
 		e.met.requests.Inc()
 	}
 	return out, nil

@@ -192,6 +192,7 @@ type estimatorMetrics struct {
 
 	warmEngaged   *obs.Counter // solves seeded from a cached warm state
 	warmIterSaved *obs.Counter // iterations saved vs the solver's cap
+	warmRejected  *obs.Counter // seeds that lost to the cold start's objective
 }
 
 func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
@@ -207,6 +208,7 @@ func newEstimatorMetrics(reg *obs.Registry) *estimatorMetrics {
 		fallbackOMP:     reg.Counter("core.solve.fallback_omp_total"),
 		warmEngaged:     reg.Counter("core.warmstart.engaged_total"),
 		warmIterSaved:   reg.Counter("core.warmstart.iter_saved"),
+		warmRejected:    reg.Counter("core.warmstart.rejected_total"),
 	}
 }
 
@@ -353,13 +355,15 @@ func (e *Estimator) recordDictAccess(built bool) {
 // Config.Fallback set, a failed or non-converged primary solve engages the
 // fallback chain (fb builds the FISTA retry solver; OMP is the terminal
 // stage); without it the primary outcome is returned untouched, preserving
-// bit-identical legacy behavior.
-func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb func() (*sparse.Solver, error), slot *warmSlot, y *cmat.Matrix, kappa float64) (*sparse.Result, error) {
+// bit-identical legacy behavior. The returned stage names the fallback stage
+// the accepted result came from ("" = primary); together with the result it
+// feeds the SolveInfo that rides each LinkResult.
+func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb func() (*sparse.Solver, error), slot *warmSlot, y *cmat.Matrix, kappa float64) (*sparse.Result, string, error) {
 	// Stage-boundary cancellation: a dead context skips the solve entirely.
 	// (The solver's iteration loop itself is not interruptible; the worst
 	// post-cancel overrun is one solve.)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	_, sp := obs.StartSpan(ctx, "estimate.solve")
 	var t0 time.Time
@@ -381,17 +385,24 @@ func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb fu
 		res, err = solver.SolveMulti(y, kappa)
 	}
 	if e.met != nil {
-		e.met.solveSeconds.Observe(time.Since(t0).Seconds())
-		if err == nil && res.Warm {
-			e.met.warmEngaged.Inc()
-			if saved := solver.MaxIters() - res.Iterations; saved > 0 {
-				e.met.warmIterSaved.Add(int64(saved))
+		// The latency exemplar ties this solve's bucket to the request that
+		// exercised it — an empty id (untagged caller) records plainly.
+		e.met.solveSeconds.ObserveExemplar(time.Since(t0).Seconds(), obs.RequestIDFrom(ctx))
+		if err == nil {
+			if res.Warm {
+				e.met.warmEngaged.Inc()
+				if saved := solver.MaxIters() - res.Iterations; saved > 0 {
+					e.met.warmIterSaved.Add(int64(saved))
+				}
+			}
+			if res.WarmRejected {
+				e.met.warmRejected.Inc()
 			}
 		}
 	}
 	sp.End()
 	if !e.cfg.Fallback || (err == nil && res.Converged) {
-		return res, err
+		return res, "", err
 	}
 	return e.fallbackSolve(ctx, solver, fb, y, kappa, res, err)
 }
@@ -400,8 +411,9 @@ func (e *Estimator) timedSolve(ctx context.Context, solver *sparse.Solver, fb fu
 // solve on a FISTA solver sharing the dictionary, and if that also fails to
 // converge, take greedy OMP on the dominant snapshot column as the answer of
 // last resort. When even OMP errors, the primary outcome is returned so the
-// chain never makes things worse.
-func (e *Estimator) fallbackSolve(ctx context.Context, primary *sparse.Solver, fb func() (*sparse.Solver, error), y *cmat.Matrix, kappa float64, primaryRes *sparse.Result, primaryErr error) (*sparse.Result, error) {
+// chain never makes things worse. The returned stage names where the
+// accepted result came from ("fista", "omp", or "" for the primary outcome).
+func (e *Estimator) fallbackSolve(ctx context.Context, primary *sparse.Solver, fb func() (*sparse.Solver, error), y *cmat.Matrix, kappa float64, primaryRes *sparse.Result, primaryErr error) (*sparse.Result, string, error) {
 	_, sp := obs.StartSpan(ctx, "estimate.fallback")
 	defer sp.End()
 	if e.met != nil {
@@ -413,7 +425,7 @@ func (e *Estimator) fallbackSolve(ctx context.Context, primary *sparse.Solver, f
 				if e.met != nil {
 					e.met.fallbackFISTA.Inc()
 				}
-				return res, nil
+				return res, "fista", nil
 			}
 		}
 	}
@@ -421,9 +433,9 @@ func (e *Estimator) fallbackSolve(ctx context.Context, primary *sparse.Solver, f
 		if e.met != nil {
 			e.met.fallbackOMP.Inc()
 		}
-		return res, nil
+		return res, "omp", nil
 	}
-	return primaryRes, primaryErr
+	return primaryRes, "", primaryErr
 }
 
 // ompSolve runs orthogonal matching pursuit on the strongest column of y
@@ -542,7 +554,7 @@ func (e *Estimator) EstimateAoACtx(ctx context.Context, csi *wireless.CSI) (*spe
 		}
 	}
 	kappa := kappaFor(solver, y, e.cfg.KappaRatio)
-	res, err := e.timedSolve(ctx, solver, e.aoaFallback(solver), &e.aoaWarm, y, kappa)
+	res, _, err := e.timedSolve(ctx, solver, e.aoaFallback(solver), &e.aoaWarm, y, kappa)
 	if err != nil {
 		return nil, fmt.Errorf("core: AoA solve: %w", err)
 	}
@@ -556,12 +568,14 @@ func (e *Estimator) EstimateAoACtx(ctx context.Context, csi *wireless.CSI) (*spe
 // EstimateJoint recovers the joint AoA/ToA spectrum of paper Eq. 18 from a
 // single packet by solving over the stacked space-delay dictionary.
 func (e *Estimator) EstimateJoint(csi *wireless.CSI) (*spectra.Spectrum2D, error) {
-	return e.estimateJointBlock(context.Background(), []*wireless.CSI{csi}, 1)
+	spec, _, err := e.estimateJointBlock(context.Background(), []*wireless.CSI{csi}, 1)
+	return spec, err
 }
 
 // EstimateJointCtx is EstimateJoint with stage tracing.
 func (e *Estimator) EstimateJointCtx(ctx context.Context, csi *wireless.CSI) (*spectra.Spectrum2D, error) {
-	return e.estimateJointBlock(ctx, []*wireless.CSI{csi}, 1)
+	spec, _, err := e.estimateJointBlock(ctx, []*wireless.CSI{csi}, 1)
+	return spec, err
 }
 
 // EstimateJointFused coherently fuses a burst of packets (Sec. III-D): the
@@ -579,8 +593,16 @@ func (e *Estimator) EstimateJointFused(packets []*wireless.CSI) (*spectra.Spectr
 // interference screening), "estimate.dict", "estimate.fuse" (the l1-SVD
 // compression), and "estimate.solve" spans.
 func (e *Estimator) EstimateJointFusedCtx(ctx context.Context, packets []*wireless.CSI) (*spectra.Spectrum2D, error) {
+	spec, _, err := e.EstimateJointFusedInfoCtx(ctx, packets)
+	return spec, err
+}
+
+// EstimateJointFusedInfoCtx is EstimateJointFusedCtx returning, in addition,
+// the SolveInfo describing which solver (and which fallback stage, if any)
+// produced the accepted spectrum.
+func (e *Estimator) EstimateJointFusedInfoCtx(ctx context.Context, packets []*wireless.CSI) (*spectra.Spectrum2D, SolveInfo, error) {
 	if len(packets) == 0 {
-		return nil, fmt.Errorf("core: fusion needs at least one packet")
+		return nil, SolveInfo{}, fmt.Errorf("core: fusion needs at least one packet")
 	}
 	// Fusion is only coherent if the packets share a delay reference; the
 	// per-packet detection delay is estimated by matched filtering and
@@ -592,19 +614,19 @@ func (e *Estimator) EstimateJointFusedCtx(ctx context.Context, packets []*wirele
 	return e.estimateJointBlock(ctx, aligned, e.cfg.MaxPaths)
 }
 
-func (e *Estimator) estimateJointBlock(ctx context.Context, packets []*wireless.CSI, keep int) (*spectra.Spectrum2D, error) {
+func (e *Estimator) estimateJointBlock(ctx context.Context, packets []*wireless.CSI, keep int) (*spectra.Spectrum2D, SolveInfo, error) {
 	_, spd := obs.StartSpan(ctx, "estimate.dict")
 	solver, err := e.getJointSolver()
 	spd.End()
 	if err != nil {
-		return nil, fmt.Errorf("core: build joint solver: %w", err)
+		return nil, SolveInfo{}, fmt.Errorf("core: build joint solver: %w", err)
 	}
 	ml := e.cfg.Array.NumAntennas * e.cfg.OFDM.NumSubcarriers
 	y := cmat.New(ml, len(packets))
 	for p, pkt := range packets {
 		v := pkt.StackedVector()
 		if len(v) != ml {
-			return nil, fmt.Errorf("core: packet %d has %d samples, want %d", p, len(v), ml)
+			return nil, SolveInfo{}, fmt.Errorf("core: packet %d has %d samples, want %d", p, len(v), ml)
 		}
 		y.SetCol(p, v)
 	}
@@ -613,18 +635,22 @@ func (e *Estimator) estimateJointBlock(ctx context.Context, packets []*wireless.
 		sv, err := cmat.SVDecompose(y)
 		if err != nil {
 			spf.End()
-			return nil, fmt.Errorf("core: fusion SVD: %w", err)
+			return nil, SolveInfo{}, fmt.Errorf("core: fusion SVD: %w", err)
 		}
 		keep = fusionRank(sv.S, keep, len(packets))
 		y = sv.TruncateLeft(keep)
 		spf.End()
 	}
 	kappa := kappaFor(solver, y, e.cfg.KappaRatio)
-	res, err := e.timedSolve(ctx, solver, e.jointFallback(solver), &e.jointWarm, y, kappa)
+	res, stage, err := e.timedSolve(ctx, solver, e.jointFallback(solver), &e.jointWarm, y, kappa)
 	if err != nil {
-		return nil, fmt.Errorf("core: joint solve: %w", err)
+		return nil, SolveInfo{}, fmt.Errorf("core: joint solve: %w", err)
 	}
-	return e.reshapeJoint(res.RowMags)
+	spec, err := e.reshapeJoint(res.RowMags)
+	if err != nil {
+		return nil, SolveInfo{}, err
+	}
+	return spec, solveInfoFor(res, stage), nil
 }
 
 // fusionRank decides how many left singular directions the l1-SVD fusion
@@ -759,11 +785,21 @@ func (e *Estimator) EstimateDirectAoA(packets []*wireless.CSI) (spectra.Peak, er
 // estimation spans plus an "estimate.peak" span around direct-path
 // selection.
 func (e *Estimator) EstimateDirectAoACtx(ctx context.Context, packets []*wireless.CSI) (spectra.Peak, error) {
-	spec, err := e.EstimateJointFusedCtx(ctx, packets)
+	peak, _, err := e.EstimateDirectAoAInfoCtx(ctx, packets)
+	return peak, err
+}
+
+// EstimateDirectAoAInfoCtx is EstimateDirectAoACtx returning, in addition,
+// the SolveInfo of the solve that produced the spectrum the peak was picked
+// from — the per-link diagnostic the serving layer surfaces in its request
+// log.
+func (e *Estimator) EstimateDirectAoAInfoCtx(ctx context.Context, packets []*wireless.CSI) (spectra.Peak, SolveInfo, error) {
+	spec, info, err := e.EstimateJointFusedInfoCtx(ctx, packets)
 	if err != nil {
-		return spectra.Peak{}, err
+		return spectra.Peak{}, info, err
 	}
 	_, sp := obs.StartSpan(ctx, "estimate.peak")
 	defer sp.End()
-	return e.DirectPath(spec)
+	peak, err := e.DirectPath(spec)
+	return peak, info, err
 }

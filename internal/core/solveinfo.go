@@ -1,0 +1,75 @@
+package core
+
+import "roarray/internal/sparse"
+
+// SolveInfo is the per-solve diagnostic summary threaded from the sparse
+// solver up through the estimator into each LinkResult, so a served request
+// can report which algorithm actually produced its answer — the primary
+// solver, a FISTA retry, or the OMP answer of last resort — without any
+// consumer having to re-derive it from counters.
+type SolveInfo struct {
+	// Solver names the algorithm that produced the accepted result
+	// ("admm", "fista", "ista", "omp").
+	Solver string
+	// Iterations the accepted solve performed; Converged whether it met its
+	// stopping criterion before the iteration cap.
+	Iterations int
+	Converged  bool
+	// Warm reports the accepted solve was seeded from cached warm state;
+	// WarmRejected that a seed existed but lost to the cold start's
+	// objective (a stale-cache signal distinct from a plain cache miss).
+	Warm         bool
+	WarmRejected bool
+	// Fallback is the degradation stage the accepted result came from:
+	// "" (primary solve), "fista" (converged retry), or "omp" (greedy last
+	// resort).
+	Fallback string
+}
+
+// solveInfoFor condenses a solver result plus the fallback stage that
+// produced it into the wire-facing summary.
+func solveInfoFor(res *sparse.Result, stage string) SolveInfo {
+	if res == nil {
+		return SolveInfo{Fallback: stage}
+	}
+	return SolveInfo{
+		Solver:       res.Solver,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		Warm:         res.Warm,
+		WarmRejected: res.WarmRejected,
+		Fallback:     stage,
+	}
+}
+
+// Merge folds another link's solve summary into this one, producing the
+// request-level roll-up the serving layer logs: Solver collapses to "mixed"
+// when links disagree, Fallback keeps the deepest stage engaged, the warm
+// flags OR together, and Iterations accumulates.
+func (si SolveInfo) Merge(other SolveInfo) SolveInfo {
+	out := si
+	if out.Solver == "" {
+		out.Solver = other.Solver
+	} else if other.Solver != "" && other.Solver != out.Solver {
+		out.Solver = "mixed"
+	}
+	out.Iterations += other.Iterations
+	out.Converged = out.Converged && other.Converged
+	out.Warm = out.Warm || other.Warm
+	out.WarmRejected = out.WarmRejected || other.WarmRejected
+	if fallbackDepth(other.Fallback) > fallbackDepth(out.Fallback) {
+		out.Fallback = other.Fallback
+	}
+	return out
+}
+
+func fallbackDepth(stage string) int {
+	switch stage {
+	case "fista":
+		return 1
+	case "omp":
+		return 2
+	default:
+		return 0
+	}
+}

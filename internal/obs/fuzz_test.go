@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEventDecode drives arbitrary bytes through the request-event decoder
+// that roastat trusts when reading event logs off disk. Whatever the bytes,
+// DecodeRequestEvent must not panic; any line it accepts must be within the
+// schema range and survive a marshal/decode round trip (the representation
+// the inspector's filters rely on).
+func FuzzEventDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":1,"id":"abc","outcome":"ok","status":200}`))
+	f.Add([]byte(`{"schema":1,"id":"x","outcome":"deadline","status":504,` +
+		`"queueMs":1.5,"totalMs":260.2,"deadlineMs":250,"batchId":7,"batchSize":3,` +
+		`"searchMode":"coarse","cells":512,"solver":"admm","fallback":"fista",` +
+		`"warm":true,"warmRejected":true,"sanitizeConf":0.4,"est":[1.5,-2.5]}`))
+	f.Add([]byte(`{"schema":0,"id":"too-old"}`))
+	f.Add([]byte(`{"schema":99,"id":"too-new"}`))
+	f.Add([]byte(`{"schema":1,"est":[1e308,-1e308,0]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"schema":1,"id":"` + string(make([]byte, 100)) + `"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeRequestEvent(data)
+		if err != nil {
+			return
+		}
+		if ev.Schema < 1 || ev.Schema > RequestEventSchema {
+			t.Fatalf("decoder accepted schema %d outside [1,%d]", ev.Schema, RequestEventSchema)
+		}
+		// An accepted event must round-trip through marshal/decode.
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("accepted event does not re-marshal: %v", err)
+		}
+		back, err := DecodeRequestEvent(line)
+		if err != nil {
+			t.Fatalf("round trip rejected an accepted event: %v", err)
+		}
+		if back.ID != ev.ID || back.Outcome != ev.Outcome || back.Status != ev.Status ||
+			back.Schema != ev.Schema || len(back.Est) != len(ev.Est) {
+			t.Fatalf("round trip changed the event:\n in  %+v\n out %+v", ev, back)
+		}
+	})
+}

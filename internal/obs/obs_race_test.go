@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObsConcurrencyHammer drives the request-observability primitives —
+// EventLog, SLO, exemplar histograms, and snapshot hooks — from many
+// goroutines at once while snapshots and a mid-flight Close race them. Its
+// value is under `make race`: any lock-discipline slip in the new paths
+// shows up here as a data-race report.
+func TestObsConcurrencyHammer(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hammer.latency", ExpBuckets(0.001, 2, 10)...)
+	slo := NewSLO(SLOConfig{LatencyObjective: 50 * time.Millisecond, Target: 0.95})
+	slo.Bind(reg)
+	log := NewEventLog(io.Discard, 64)
+
+	const goroutines = 16
+	const iters = 300
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			id := fmt.Sprintf("g%d", g)
+			for i := 0; i < iters; i++ {
+				lat := time.Duration(i%100) * time.Millisecond
+				ok := i%7 != 0
+				slo.Observe(ok, lat)
+				h.ObserveExemplar(lat.Seconds(), id)
+				log.Log(RequestEvent{ID: id, Outcome: "ok", Status: 200,
+					TotalMillis: float64(i % 100)})
+				if i%50 == 0 {
+					reg.Snapshot() // runs the SLO snapshot hook concurrently
+					slo.Windows()
+				}
+			}
+		}(g)
+	}
+	// One goroutine closes the log mid-flight: loggers must degrade to
+	// counted drops, never panic on a closed channel.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(2 * time.Millisecond)
+		log.Close()
+	}()
+
+	close(start)
+	wg.Wait()
+	log.Close() // idempotent
+
+	if got := log.Logged() + log.Dropped(); got > goroutines*iters {
+		t.Fatalf("accounting overflow: logged+dropped=%d > %d attempts", got, goroutines*iters)
+	}
+	snap := reg.Snapshot()
+	hs, ok := snap["hammer.latency"].(HistogramSnapshot)
+	if !ok || hs.Count != goroutines*iters {
+		t.Fatalf("histogram count %d, want %d", hs.Count, goroutines*iters)
+	}
+	if w := sloWindow(t, slo.Windows(), "1h"); w.Total != goroutines*iters {
+		t.Fatalf("slo total %d, want %d", w.Total, goroutines*iters)
+	}
+}

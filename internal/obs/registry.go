@@ -72,12 +72,20 @@ type Histogram struct {
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars[i] names the most recent request whose observation landed
+	// in bucket i (nil until a request-attributed observation arrives), so
+	// a slow bucket in /metrics points at a concrete trace to pull.
+	exemplars []atomic.Pointer[string]
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[string], len(bs)+1),
+	}
 }
 
 // Observe records one value. Safe on a nil receiver (no-op).
@@ -96,6 +104,21 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar is Observe plus exemplar attribution: when id is non-empty
+// the bucket the value lands in retains id as its most recent exemplar
+// (last-writer-wins, lock-free). With an empty id it is exactly Observe, so
+// call sites can pass RequestIDFrom(ctx) unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, id string) {
+	if h == nil {
+		return
+	}
+	if id != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&id)
+	}
+	h.Observe(v)
 }
 
 // Count returns the total number of observations (0 for nil).
@@ -156,13 +179,16 @@ func (h *Histogram) Quantile(p float64) float64 {
 // HistogramSnapshot is the JSON shape of one histogram: per-bucket counts
 // aligned with Bounds, plus one trailing overflow count. P50/P95 are
 // bucket-interpolated quantile estimates (0 when the histogram is empty).
+// Exemplars, when present, aligns with Counts: Exemplars[i] is the request
+// ID of the most recent attributed observation in bucket i ("" = none).
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"`
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	P50    float64   `json:"p50"`
-	P95    float64   `json:"p95"`
+	Bounds    []float64 `json:"bounds"`
+	Counts    []int64   `json:"counts"`
+	Count     int64     `json:"count"`
+	Sum       float64   `json:"sum"`
+	P50       float64   `json:"p50"`
+	P95       float64   `json:"p95"`
+	Exemplars []string  `json:"exemplars,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of the histogram state.
@@ -176,8 +202,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Count:  h.count.Load(),
 		Sum:    h.Sum(),
 	}
+	any := false
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		if h.exemplars[i].Load() != nil {
+			any = true
+		}
+	}
+	if any {
+		s.Exemplars = make([]string, len(h.counts))
+		for i := range h.counts {
+			if p := h.exemplars[i].Load(); p != nil {
+				s.Exemplars[i] = *p
+			}
+		}
 	}
 	// NaN is not valid JSON; an empty histogram snapshots quantiles as 0.
 	if s.Count > 0 {
@@ -185,6 +223,70 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.P95 = h.Quantile(0.95)
 	}
 	return s
+}
+
+// Quantile estimates the p-quantile from the snapshot's bucket counts with
+// the same interpolation Histogram.Quantile uses — so offline consumers
+// (roastat, including on differenced snapshots) compute quantiles exactly
+// the way the live registry would. NaN when empty or p is out of range.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || s.Count <= 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := p * float64(s.Count)
+	var cum int64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (s.Bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Sub returns the interval histogram snapshot - prev: per-bucket count
+// deltas (clamped at zero against restarts), with P50/P95 recomputed over
+// the interval and exemplars taken from the newer snapshot. It is how a
+// poller turns two cumulative snapshots into "what happened in between".
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds:    append([]float64(nil), s.Bounds...),
+		Counts:    make([]int64, len(s.Counts)),
+		Sum:       s.Sum - prev.Sum,
+		Exemplars: s.Exemplars,
+	}
+	for i, n := range s.Counts {
+		d := n
+		if i < len(prev.Counts) && len(prev.Bounds) == len(s.Bounds) {
+			d -= prev.Counts[i]
+		}
+		if d < 0 {
+			d = 0
+		}
+		out.Counts[i] = d
+		out.Count += d
+	}
+	if out.Count > 0 {
+		out.P50 = out.Quantile(0.5)
+		out.P95 = out.Quantile(0.95)
+	} else {
+		out.Sum = 0
+	}
+	return out
 }
 
 // ExpBuckets returns n upper bounds start, start*factor, start*factor^2, ...
@@ -216,6 +318,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -303,6 +408,7 @@ func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
 	}
+	r.runHooks()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
@@ -316,6 +422,30 @@ func (r *Registry) Snapshot() map[string]any {
 		out[name] = h.Snapshot()
 	}
 	return out
+}
+
+// OnSnapshot registers fn to run at the start of every Snapshot (and
+// therefore every /metrics scrape), before metric values are read. It is
+// how pull-refreshed state — the SLO rolling windows — stays current even
+// when no traffic has arrived since the last request. Hooks run outside the
+// registry's read lock and must not call Snapshot themselves. Nil-safe.
+func (r *Registry) OnSnapshot(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// runHooks runs the registered snapshot hooks, serialized so hooks never
+// race themselves across concurrent scrapes.
+func (r *Registry) runHooks() {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	for _, fn := range r.hooks {
+		fn()
+	}
 }
 
 // WriteJSON writes the snapshot as one indented JSON object — the /metrics

@@ -20,6 +20,10 @@ type SpanEvent struct {
 	Span   uint64 `json:"span"`
 	Parent uint64 `json:"parent,omitempty"`
 	Name   string `json:"name"`
+	// Req is the request ID carried by the span's context (WithRequestID)
+	// when one was set — the join key between a trace stream, the wide-event
+	// request log, and histogram exemplars.
+	Req string `json:"req,omitempty"`
 	// StartUnixNs is the span's wall-clock start (UnixNano).
 	StartUnixNs int64 `json:"startNs"`
 	// DurNs is the span's wall-time duration in nanoseconds.
@@ -74,6 +78,7 @@ type Span struct {
 	id      uint64
 	parent  uint64
 	name    string
+	req     string
 	start   time.Time
 	ended   atomic.Bool
 }
@@ -88,6 +93,7 @@ func (s *Span) End() {
 		Span:        s.id,
 		Parent:      s.parent,
 		Name:        s.name,
+		Req:         s.req,
 		StartUnixNs: s.start.UnixNano(),
 		DurNs:       time.Since(s.start).Nanoseconds(),
 	})
@@ -125,7 +131,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	id := t.nextID.Add(1)
-	s := &Span{tracer: t, id: id, name: name, start: time.Now()}
+	s := &Span{tracer: t, id: id, name: name, req: RequestIDFrom(ctx), start: time.Now()}
 	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
 		s.parent = parent.id
 		s.traceID = parent.traceID

@@ -25,7 +25,10 @@ type outcome struct {
 	res       *core.LocalizeResult
 	err       error
 	batchSize int
-	dequeued  time.Time
+	// batchID numbers the flush that carried this request (1-based, shared
+	// by every member of the flush) so the request log can group batchmates.
+	batchID  int64
+	dequeued time.Time
 }
 
 // dispatch is the single batching goroutine: it blocks for the first queued
@@ -97,7 +100,7 @@ func (s *Server) flush(batch []*pending) {
 		return
 	}
 	dequeued := time.Now()
-	s.batches.Add(1)
+	batchID := s.batches.Add(1)
 	s.batched.Add(int64(len(batch)))
 	if s.met != nil {
 		s.met.batches.Inc()
@@ -116,7 +119,7 @@ func (s *Server) flush(batch []*pending) {
 	}
 	results, errs := s.localizeBatch(reqs, ctxs)
 	for i, p := range batch {
-		p.done <- outcome{res: results[i], err: errs[i], batchSize: len(batch), dequeued: dequeued}
+		p.done <- outcome{res: results[i], err: errs[i], batchSize: len(batch), batchID: batchID, dequeued: dequeued}
 	}
 }
 

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"roarray/internal/core"
+	"roarray/internal/obs"
 	"roarray/internal/sparse"
 	"roarray/internal/spectra"
 	"roarray/internal/testbed"
@@ -23,6 +25,10 @@ type Preset struct {
 	// Packets is the default CSI burst depth per link for generated
 	// workloads.
 	Packets int
+	// SLO is the preset's default service-level objective: the latency bound
+	// and attainment target the serving layer tracks (and roaload gates on)
+	// unless overridden by flags.
+	SLO obs.SLOConfig
 }
 
 // LookupPreset resolves a preset by name:
@@ -44,6 +50,9 @@ func LookupPreset(name string) (*Preset, error) {
 			},
 			Deployment: testbed.Default(),
 			Packets:    15,
+			// Paper-faithful solves cost seconds of CPU each; the latency
+			// objective reflects that working point.
+			SLO: obs.SLOConfig{LatencyObjective: 10 * time.Second, Target: 0.99},
 		}, nil
 	case "smoke":
 		ofdm := wireless.OFDM{NumSubcarriers: 8, SubcarrierSpacing: 4e6}
@@ -61,6 +70,9 @@ func LookupPreset(name string) (*Preset, error) {
 			},
 			Deployment: dep,
 			Packets:    2,
+			// Smoke solves finish in tens of milliseconds; 99% under 250 ms
+			// is the CI-checkable objective.
+			SLO: obs.SLOConfig{LatencyObjective: 250 * time.Millisecond, Target: 0.99},
 		}, nil
 	default:
 		return nil, fmt.Errorf("serve: unknown preset %q (want \"paper\" or \"smoke\")", name)

@@ -68,6 +68,15 @@ type Config struct {
 	// bit-identical positions, so this only trades evaluation counts (and
 	// enables SearchExact cross-checking in staging deployments).
 	Search *core.SearchConfig
+	// Events, when non-nil, receives one wide-event record per terminal
+	// request outcome (accepted or rejected). The log is bounded and
+	// droppable, so a wedged sink never blocks the request path.
+	Events *obs.EventLog
+	// SLO, when non-nil, tracks rolling-window availability and latency
+	// attainment over the served traffic. Client errors (400/405) are not
+	// observed — they spend the client's budget, not the server's. Bind it
+	// to Metrics to export the windows as burn-rate gauges.
+	SLO *obs.SLO
 }
 
 func (c Config) withDefaults() Config {
@@ -319,27 +328,47 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 const maxBodyBytes = 64 << 20
 
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	// Request identity first: honor the client's X-Request-Id (sanitized)
+	// or mint one, and echo it on every response — including errors — so
+	// the client can always quote an id the server-side telemetry knows.
+	rid := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+
+	// badRequest answers a client error and records it in the request log.
+	// Client errors are not observed by the SLO: they spend the client's
+	// error budget, not the server's.
+	badRequest := func(status int, class, msg string) {
+		writeError(w, status, msg)
+		s.event(obs.RequestEvent{
+			ID: rid, Outcome: "bad_request", Status: status,
+			ErrorClass: class, Error: msg,
+		})
+	}
+
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		badRequest(http.StatusMethodNotAllowed, "method", "POST only")
 		return
 	}
 	var wreq Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&wreq); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		badRequest(http.StatusBadRequest, "decode", fmt.Sprintf("decode request: %v", err))
 		return
 	}
 	creq, err := wreq.ToCore()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		badRequest(http.StatusBadRequest, "validate", err.Error())
 		return
 	}
 	if s.cfg.Search != nil {
 		creq.Search = s.cfg.Search
 	}
 	if m, l := wreq.Dims(); m != s.antennas || l != s.subcarrier {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+		badRequest(http.StatusBadRequest, "dimension", fmt.Sprintf(
 			"CSI is %dx%d (antennas x subcarriers), server is configured for %dx%d",
 			m, l, s.antennas, s.subcarrier))
 		return
@@ -348,8 +377,9 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	// Per-request context: the HTTP context (client disconnect), tightened
 	// by the effective deadline, and wired to the hard-stop so a forced
-	// drain aborts the slot mid-flush.
-	rctx := r.Context()
+	// drain aborts the slot mid-flush. The request ID rides the context so
+	// every span and every latency exemplar downstream carries it.
+	rctx := obs.WithRequestID(r.Context(), rid)
 	if s.cfg.Tracer != nil {
 		rctx = obs.WithTracer(rctx, s.cfg.Tracer)
 	}
@@ -366,6 +396,8 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	defer pcancel()
 	stop := context.AfterFunc(s.hardCtx, pcancel)
 	defer stop()
+
+	deadlineMs := float64(timeout) / float64(time.Millisecond)
 
 	// Fault-injection hook: disturb the request on its own goroutine before
 	// it competes for a queue slot. A stuck disturbance releases when the
@@ -388,6 +420,11 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.cfg.SLO.Observe(false, time.Since(t0))
+		s.event(obs.RequestEvent{
+			ID: rid, Outcome: "rejected_draining", Status: http.StatusServiceUnavailable,
+			DeadlineMillis: deadlineMs,
+		})
 		return
 	}
 	select {
@@ -401,6 +438,11 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue full")
+		s.cfg.SLO.Observe(false, time.Since(t0))
+		s.event(obs.RequestEvent{
+			ID: rid, Outcome: "rejected_queue_full", Status: http.StatusTooManyRequests,
+			DeadlineMillis: deadlineMs,
+		})
 		return
 	}
 	s.accepted.Add(1)
@@ -415,7 +457,22 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	s.finished.Add(1)
 	elapsed := time.Since(t0)
 	if s.met != nil {
-		s.met.e2e.Observe(elapsed.Seconds())
+		// The e2e exemplar is the entry point of a slow-request diagnosis:
+		// /metrics names the request that most recently landed in each
+		// latency bucket.
+		s.met.e2e.ObserveExemplar(elapsed.Seconds(), rid)
+	}
+	queueMs := out.dequeued.Sub(t0).Seconds() * 1e3
+	if out.dequeued.IsZero() {
+		queueMs = 0
+	}
+	ev := obs.RequestEvent{
+		ID:             rid,
+		QueueMillis:    queueMs,
+		TotalMillis:    elapsed.Seconds() * 1e3,
+		DeadlineMillis: deadlineMs,
+		BatchID:        out.batchID,
+		BatchSize:      out.batchSize,
 	}
 	if out.err != nil {
 		s.failed.Add(1)
@@ -424,12 +481,16 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		}
 		switch {
 		case errors.Is(out.err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, out.err.Error())
+			ev.Outcome, ev.Status = "deadline", http.StatusGatewayTimeout
 		case errors.Is(out.err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, out.err.Error())
+			ev.Outcome, ev.Status = "canceled", http.StatusServiceUnavailable
 		default:
-			writeError(w, http.StatusInternalServerError, out.err.Error())
+			ev.Outcome, ev.Status = "error", http.StatusInternalServerError
 		}
+		ev.ErrorClass, ev.Error = ev.Outcome, out.err.Error()
+		writeError(w, ev.Status, out.err.Error())
+		s.cfg.SLO.Observe(false, elapsed)
+		s.event(ev)
 		return
 	}
 	s.completed.Add(1)
@@ -437,11 +498,12 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		s.met.completed.Inc()
 	}
 	resp := Response{
+		RequestID:   rid,
 		X:           out.res.Position.X,
 		Y:           out.res.Position.Y,
 		Links:       make([]LinkResult, len(out.res.Links)),
 		BatchSize:   out.batchSize,
-		QueueMillis: out.dequeued.Sub(t0).Seconds() * 1e3,
+		QueueMillis: queueMs,
 		TotalMillis: elapsed.Seconds() * 1e3,
 	}
 	for i, lr := range out.res.Links {
@@ -452,6 +514,45 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.cfg.SLO.Observe(true, elapsed)
+
+	ev.Outcome, ev.Status = "ok", http.StatusOK
+	ev.SearchMode = out.res.Search.Mode
+	ev.CellsEvaluated = out.res.Search.Evaluated()
+	ev.Est = []float64{out.res.Position.X, out.res.Position.Y}
+	var solve core.SolveInfo
+	haveSolve := false
+	for _, lr := range out.res.Links {
+		// SanitizeConfidence is the lowest reduced fusion weight any flagged
+		// link carries (0 = every burst clean), including links that failed
+		// after being flagged.
+		if lr.Sanitize != nil && (ev.SanitizeConfidence == 0 || lr.Confidence < ev.SanitizeConfidence) {
+			ev.SanitizeConfidence = lr.Confidence
+		}
+		if lr.Solve.Solver == "" {
+			continue
+		}
+		if !haveSolve {
+			solve, haveSolve = lr.Solve, true
+		} else {
+			solve = solve.Merge(lr.Solve)
+		}
+	}
+	ev.Solver = solve.Solver
+	ev.FallbackStage = solve.Fallback
+	ev.WarmEngaged = solve.Warm
+	ev.WarmRejected = solve.WarmRejected
+	s.event(ev)
+}
+
+// event stamps and logs one wide-event record; a nil Config.Events makes it
+// a nil-check no-op.
+func (s *Server) event(ev obs.RequestEvent) {
+	if s.cfg.Events == nil {
+		return
+	}
+	ev.TimeUnixNs = time.Now().UnixNano()
+	s.cfg.Events.Log(ev)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -72,6 +72,11 @@ type LinkResult struct {
 
 // Response is the JSON body of a successful localization.
 type Response struct {
+	// RequestID echoes the request's id (the client's X-Request-Id header
+	// when one was sent, a server-minted id otherwise) — the join key into
+	// the server's trace spans, request log, and metric exemplars. The same
+	// value rides the X-Request-Id response header on every status.
+	RequestID string `json:"requestId,omitempty"`
 	// X, Y is the Eq. 19 grid-search position estimate in meters.
 	X float64 `json:"x"`
 	Y float64 `json:"y"`

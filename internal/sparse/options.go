@@ -165,6 +165,11 @@ type Result struct {
 	EarlyStopped bool
 	// Warm reports that the solve was seeded from a compatible WarmState.
 	Warm bool
+	// WarmRejected reports that a compatible seed existed but scored worse
+	// than the cold start at zero, so the solve ran cold. Distinguishing
+	// "no seed" from "seed rejected" matters when diagnosing warm-start hit
+	// rates: the former is a cache miss, the latter a stale cache entry.
+	WarmRejected bool
 	// Objective is the final value of 1/2||AX-Y||_F^2 + kappa*sum row norms.
 	Objective float64
 }

@@ -143,6 +143,7 @@ func (s *Solver) solveADMMWeighted(y *cmat.Matrix, kappa float64, weights []floa
 	// shuffled batch order) fails that test, and spending iterations escaping
 	// a bad seed is strictly worse than starting cold.
 	warm := ws.seedable(MethodADMM, n, k)
+	warmRejected := false
 	if warm {
 		copyInto(z, ws.primary)
 		copyInto(u, ws.dual)
@@ -151,6 +152,7 @@ func (s *Solver) solveADMMWeighted(y *cmat.Matrix, kappa float64, weights []floa
 			zeroMat(z)
 			zeroMat(u)
 			warm = false
+			warmRejected = true
 		}
 	}
 	stop := newSpecStop(s.opts, n)
@@ -239,6 +241,7 @@ func (s *Solver) solveADMMWeighted(y *cmat.Matrix, kappa float64, weights []floa
 		Converged:    converged,
 		EarlyStopped: early,
 		Warm:         warm,
+		WarmRejected: warmRejected,
 		Objective:    0.5*fit*fit + kappa*l1,
 	}
 	s.tele.record(res)

@@ -30,6 +30,7 @@ type solverTelemetry struct {
 	nonconverged *obs.Counter
 	earlyStops   *obs.Counter
 	warmSolves   *obs.Counter
+	warmRejected *obs.Counter
 	iterations   *obs.Histogram
 }
 
@@ -42,6 +43,7 @@ func newSolverTelemetry(reg *obs.Registry) *solverTelemetry {
 		nonconverged: reg.Counter("sparse.solve.nonconverged_total"),
 		earlyStops:   reg.Counter("sparse.solve.earlystop_total"),
 		warmSolves:   reg.Counter("sparse.solve.warm_total"),
+		warmRejected: reg.Counter("sparse.solve.warm_rejected_total"),
 		iterations:   reg.Histogram("sparse.solve.iterations", 5, 10, 25, 50, 100, 200, 400, 800),
 	}
 }
@@ -62,6 +64,9 @@ func (t *solverTelemetry) record(res *Result) {
 	}
 	if res.Warm {
 		t.warmSolves.Inc()
+	}
+	if res.WarmRejected {
+		t.warmRejected.Inc()
 	}
 }
 
@@ -241,12 +246,14 @@ func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64, ws *WarmState) (*R
 	// measurement (a different location, a reshuffled batch) fails that test
 	// and the solve runs cold rather than spending iterations escaping it.
 	warm := ws.seedable(s.opts.method, n, k)
+	warmRejected := false
 	if warm {
 		copyInto(x, ws.primary)
 		yn := y.FrobNorm()
 		if s.seedObjective(x, y, kappa, nil, aw, kscratch) >= 0.5*yn*yn {
 			zeroMat(x)
 			warm = false
+			warmRejected = true
 		}
 		copyInto(w, x)
 	}
@@ -324,6 +331,7 @@ func (s *Solver) solveProximal(y *cmat.Matrix, kappa float64, ws *WarmState) (*R
 		Converged:    converged,
 		EarlyStopped: early,
 		Warm:         warm,
+		WarmRejected: warmRejected,
 		Objective:    obj,
 	}
 	s.tele.record(res)

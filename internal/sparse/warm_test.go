@@ -139,6 +139,71 @@ func TestWarmStateIncompatibleRunsCold(t *testing.T) {
 	}
 }
 
+// TestWarmSeedRejectedIsReported: a compatible-shape seed that loses the
+// objective gate runs the solve cold, bit-identical to SolveMulti, and is
+// flagged WarmRejected — the stale-cache signal the observability layer
+// surfaces separately from a plain cache miss.
+func TestWarmSeedRejectedIsReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, _, y, _ := makeSparseProblem(rng, 16, 48, 2, 0.01)
+	for _, method := range []Method{MethodADMM, MethodFISTA} {
+		s, err := NewSolver(a, WithMaxIters(200), WithMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ym := cmat.New(len(y), 1)
+		ym.SetCol(0, y)
+
+		// A right-shaped seed full of garbage: its objective cannot beat the
+		// zero cold start's.
+		bad := cmat.New(a.Cols(), 1)
+		for i := 0; i < a.Cols(); i++ {
+			bad.Set(i, 0, complex(1e6, -1e6))
+		}
+		ws := &WarmState{}
+		ws.store(method, a.Cols(), 1, bad, bad)
+
+		ref, err := s.SolveMulti(ym, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.SolveMultiWarm(ym, 0.1, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Warm {
+			t.Fatalf("%v: rejected seed must not mark the solve warm", method)
+		}
+		if !got.WarmRejected {
+			t.Fatalf("%v: rejected seed not reported in WarmRejected", method)
+		}
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("%v: rejected-seed solve took %d iterations, cold reference %d", method, got.Iterations, ref.Iterations)
+		}
+		for i := range ref.X[0] {
+			if got.X[0][i] != ref.X[0][i] {
+				t.Fatalf("%v: coefficient %d differs from the cold reference", method, i)
+			}
+		}
+		// And the no-seed path must stay WarmRejected == false.
+		plain, err := s.SolveMultiWarm(cmatCloneForTest(ym), 0.1, &WarmState{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.WarmRejected {
+			t.Fatalf("%v: cache miss misreported as a rejected seed", method)
+		}
+	}
+}
+
+func cmatCloneForTest(m *cmat.Matrix) *cmat.Matrix {
+	out := cmat.New(m.Rows(), m.Cols())
+	for j := 0; j < m.Cols(); j++ {
+		out.SetCol(j, m.Col(j))
+	}
+	return out
+}
+
 // TestWarmStateClone: clones are deep — mutating the original's matrices
 // must not leak into the clone.
 func TestWarmStateClone(t *testing.T) {

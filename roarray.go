@@ -166,6 +166,50 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 // ReadSpanEvents decodes a JSONL trace stream written by a Tracer.
 func ReadSpanEvents(r io.Reader) ([]SpanEvent, error) { return obs.ReadEvents(r) }
 
+// Request-centric observability, re-exported from internal/obs: a request id
+// attached to a context (WithRequestID) tags every span the pipeline opens
+// and every histogram exemplar it records, and the same id keys the wide
+// per-request events an EventLog collects — one join key across traces,
+// metrics, and logs.
+type (
+	// RequestEvent is one wide request-log record (JSON per line).
+	RequestEvent = obs.RequestEvent
+	// EventLog is a bounded, droppable JSONL sink for RequestEvents.
+	EventLog = obs.EventLog
+	// SLO tracks rolling-window availability and latency attainment.
+	SLO = obs.SLO
+	// SLOConfig sets the latency objective and attainment target.
+	SLOConfig = obs.SLOConfig
+	// SLOWindow is one rolling window's attainment and burn state.
+	SLOWindow = obs.SLOWindow
+)
+
+// NewRequestID mints a fresh 16-hex-character request id.
+func NewRequestID() string { return obs.NewRequestID() }
+
+// SanitizeRequestID makes an externally supplied id safe to log and echo.
+func SanitizeRequestID(s string) string { return obs.SanitizeRequestID(s) }
+
+// WithRequestID tags ctx with a request id; spans and exemplars recorded
+// under it carry the id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestIDFrom returns the request id in ctx ("" when untagged).
+func RequestIDFrom(ctx context.Context) string { return obs.RequestIDFrom(ctx) }
+
+// NewEventLog returns an event log writing JSONL to w through a bounded
+// queue of the given depth; under pressure events are dropped, not blocked on.
+func NewEventLog(w io.Writer, depth int) *EventLog { return obs.NewEventLog(w, depth) }
+
+// ReadRequestEvents decodes a JSONL request-event stream.
+func ReadRequestEvents(r io.Reader) ([]RequestEvent, error) { return obs.ReadRequestEvents(r) }
+
+// NewSLO returns a rolling-window SLO tracker; Bind it to a Metrics registry
+// to export availability, attainment, and burn-rate gauges.
+func NewSLO(cfg SLOConfig) *SLO { return obs.NewSLO(cfg) }
+
 // ServeDebug starts an HTTP server on addr exposing reg at /metrics, expvar
 // at /debug/vars, and pprof at /debug/pprof.
 func ServeDebug(addr string, reg *Metrics) (*DebugServer, error) { return obs.Serve(addr, reg) }
