@@ -9,9 +9,9 @@ GO ?= go
 # so the full -race sweep stays affordable.
 RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/...
 
-.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke
+.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke diag-smoke
 
-check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke
+check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke diag-smoke
 
 vet:
 	$(GO) vet ./...
@@ -102,6 +102,12 @@ serve-smoke:
 # diffing, and joining one id across the event log and the trace).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end smoke of the self-diagnosis layer (roaserve with the trigger
+# engine armed, roaload -mode spike provoking an SLO breach, exactly one
+# debounced bundle on disk, roastat -bundle rendering it).
+diag-smoke:
+	./scripts/diag_smoke.sh
 
 # Re-record the committed BENCH_serve.json serving baseline (longer run,
 # pinned knobs). Review the diff before committing.

@@ -281,8 +281,15 @@ type obsBatchBench struct {
 	reqs   []*core.LocalizeRequest
 	ctxs   []context.Context
 	ids    []string
+	reg    *roarray.Metrics
 	events *roarray.EventLog
 	slo    *roarray.SLO
+
+	// Self-diagnosis layer (enableDiag): the flight-recorder ring receives a
+	// copy of every request event, the runtime collector samples on scrapes,
+	// and a trigger engine ticks in the background without firing.
+	recorder *roarray.FlightRecorder
+	trig     *roarray.TriggerEngine
 }
 
 // lightBatchWorkload is a scaled-down batchWorkload for timing tests: the
@@ -325,7 +332,7 @@ func newObsBatchBench(tb testing.TB, full, light bool) *obsBatchBench {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	bb := &obsBatchBench{eng: eng, reqs: reqs,
+	bb := &obsBatchBench{eng: eng, reqs: reqs, reg: reg,
 		ctxs: make([]context.Context, len(reqs)),
 		ids:  make([]string, len(reqs))}
 	for i := range reqs {
@@ -359,7 +366,7 @@ func (bb *obsBatchBench) run(tb testing.TB) {
 			continue
 		}
 		res := results[i]
-		bb.events.Log(roarray.RequestEvent{
+		ev := roarray.RequestEvent{
 			ID: bb.ids[i], Outcome: "ok", Status: 200,
 			TotalMillis:    elapsed.Seconds() * 1e3,
 			BatchSize:      len(bb.reqs),
@@ -367,12 +374,34 @@ func (bb *obsBatchBench) run(tb testing.TB) {
 			CellsEvaluated: res.Search.Evaluated(),
 			Solver:         res.Links[0].Solve.Solver,
 			Est:            []float64{res.Position.X, res.Position.Y},
-		})
+		}
+		bb.recorder.RecordRequest(ev) // nil-safe; the serve layer's fan-out
+		bb.events.Log(ev)
 		bb.slo.Observe(true, elapsed)
 	}
 }
 
-func (bb *obsBatchBench) close() { bb.events.Close() }
+// enableDiag layers the self-diagnosis stack on an already-full obs bench
+// the way roaserve -diag-dir does: flight recorder (requests via the event
+// fan-out, spans via the tracer mirror — no tracer here, so requests only),
+// runtime collector on the registry, and a background trigger engine ticking
+// at the serving default cadence with signals that never fire.
+func (bb *obsBatchBench) enableDiag(tb testing.TB) {
+	tb.Helper()
+	bb.recorder = roarray.NewFlightRecorder(256, 1024)
+	bb.recorder.Bind(bb.reg)
+	collector := roarray.NewRuntimeCollector(bb.reg, 100*time.Millisecond)
+	bb.trig = roarray.NewTriggerEngine(roarray.TriggerConfig{Interval: time.Second},
+		roarray.TriggerSignal{Name: "goroutines", Check: func() (bool, string) {
+			return collector.Sample().Goroutines >= 1<<30, ""
+		}})
+	bb.trig.Start()
+}
+
+func (bb *obsBatchBench) close() {
+	bb.trig.Stop() // nil-safe
+	bb.events.Close()
+}
 
 // BenchmarkLocalizeBatchSerialObs is the serial batch with the full request
 // observability stack engaged; the delta against ...SerialMetrics is the
@@ -429,6 +458,52 @@ func TestObsOverheadBudget(t *testing.T) {
 		t.Log(last)
 	}
 	t.Fatal("observability overhead over budget: " + last)
+}
+
+// TestDiagOverheadBudget pins the self-diagnosis layer's cost on top of the
+// full observability path: flight-recorder ring appends on every request,
+// runtime-collector gauges bound to the registry, and an armed (never-firing)
+// trigger engine ticking in the background must stay within 5% of the PR 7
+// full-obs batch. Same interleaved min-of-k discipline as
+// TestObsOverheadBudget.
+func TestDiagOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	plain := newObsBatchBench(t, true, true)
+	defer plain.close()
+	diag := newObsBatchBench(t, true, true)
+	diag.enableDiag(t)
+	defer diag.close()
+	const iters = 6
+	measurePair := func() (base, withDiag time.Duration) {
+		base, withDiag = time.Duration(1<<63-1), time.Duration(1<<63-1)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			plain.run(t)
+			if d := time.Since(t0); d < base {
+				base = d
+			}
+			t0 = time.Now()
+			diag.run(t)
+			if d := time.Since(t0); d < withDiag {
+				withDiag = d
+			}
+		}
+		return base, withDiag
+	}
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		base, withDiag := measurePair()
+		ratio := float64(withDiag) / float64(base)
+		if ratio <= 1.05 {
+			return
+		}
+		last = fmt.Sprintf("attempt %d: full obs + diag %v vs full obs %v (ratio %.3f > 1.05)",
+			attempt+1, withDiag, base, ratio)
+		t.Log(last)
+	}
+	t.Fatal("self-diagnosis overhead over budget: " + last)
 }
 
 // BenchmarkLocalizeGridSearch measures the Eq. 19 grid search over the

@@ -16,6 +16,11 @@
 //   - open: requests arrive on a fixed -rate schedule regardless of
 //     completions, the way independent clients behave; overload shows up as
 //     429s rather than slowdown.
+//   - spike: a deliberate overload — closed-loop with the worker count
+//     multiplied (8x -concurrency, at least 32) so the admission queue
+//     saturates and latency blows through the SLO. This is the mode that
+//     provokes the serve-side diagnostic trigger engine (roaserve -diag-dir)
+//     into capturing a bundle; shed load (429/503) is expected, not an error.
 //
 // The request mix is -distinct synthetic workloads drawn from the same
 // preset the server was started with (dimensions must match), each from a
@@ -99,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "", "target host:port of a running roaserve")
 	addrFile := fs.String("addr-file", "", "read the target address from this file (written by roaserve -addr-file)")
-	mode := fs.String("mode", "closed", `arrival model: "closed" (workers back-to-back) or "open" (fixed rate)`)
+	mode := fs.String("mode", "closed", `arrival model: "closed" (workers back-to-back), "open" (fixed rate), or "spike" (deliberate overload)`)
 	concurrency := fs.Int("concurrency", 8, "closed-loop worker count")
 	rate := fs.Float64("rate", 20, "open-loop arrival rate, requests/second")
 	duration := fs.Duration("duration", 5*time.Second, "how long to offer load")
@@ -117,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *mode != "closed" && *mode != "open" {
+	if *mode != "closed" && *mode != "open" && *mode != "spike" {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 	target, err := resolveAddr(*addr, *addrFile)
@@ -157,21 +162,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	agg := newAggregator(objectiveMs)
 	client := &http.Client{Timeout: 2 * *duration}
+	workers := *concurrency
+	if *mode == "spike" {
+		// A spike must outrun the queue, not trickle into it: pile on enough
+		// closed-loop workers that admission saturates.
+		workers *= 8
+		if workers < 32 {
+			workers = 32
+		}
+		fmt.Fprintf(stderr, "roaload: spike mode, %d workers\n", workers)
+	}
 	start := time.Now()
-	if *mode == "closed" {
-		runClosed(client, url, bodies, *concurrency, *duration, *maxRequests, agg)
-	} else {
+	if *mode == "open" {
 		runOpen(client, url, bodies, *rate, *duration, *maxRequests, agg)
+	} else {
+		runClosed(client, url, bodies, workers, *duration, *maxRequests, agg)
 	}
 	elapsed := time.Since(start)
 
 	sum := agg.summarize(elapsed)
 	sum.Mode = *mode
 	sum.Preset = ps.Name
-	if *mode == "closed" {
-		sum.Concurrency = *concurrency
-	} else {
+	if *mode == "open" {
 		sum.RateRPS = *rate
+	} else {
+		sum.Concurrency = workers
 	}
 	sum.Distinct = *distinct
 	sum.Packets = npackets

@@ -76,6 +76,16 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	sloTarget := fs.Float64("slo-target", 0, "SLO attainment target in (0,1) (0 = preset default)")
 	warm := fs.Bool("warm", false, "warm-start solvers from the previous packet's iterates and use Kronecker-factored matvecs (same positions, fewer iterations)")
 	search := fs.String("search", "", "grid-search strategy override: coarse, flat, or exact (empty keeps the engine default)")
+	diagDir := fs.String("diag-dir", "", "write anomaly-triggered diagnostic bundles under this directory (empty disables the trigger engine)")
+	diagMaxBundles := fs.Int("diag-max-bundles", 8, "bundles retained in -diag-dir before oldest-first eviction")
+	diagCooldown := fs.Duration("diag-cooldown", 2*time.Minute, "minimum spacing between bundle captures (debounce)")
+	diagCPUProfile := fs.Duration("diag-cpu-profile", time.Second, "CPU profiling window captured into each bundle")
+	diagRing := fs.Int("diag-ring", 256, "flight-recorder request ring capacity (spans keep 4x)")
+	diagInterval := fs.Duration("diag-interval", time.Second, "trigger-signal evaluation cadence")
+	diagBurn := fs.Float64("diag-burn", 10, "1m SLO burn rate that triggers a bundle")
+	diagQueue := fs.Float64("diag-queue", 0.9, "admission-queue fill fraction that triggers a bundle")
+	diagGoroutines := fs.Int("diag-goroutines", 10000, "goroutine count that triggers a bundle")
+	diagGCPause := fs.Duration("diag-gc-pause", 250*time.Millisecond, "interval GC pause p99 that triggers a bundle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +140,25 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		defer f.Close()
 		events = obs.NewEventLog(f, 256)
 		defer events.Close()
+		events.Bind(reg)
+	}
+
+	// The runtime collector always runs: runtime.* gauges refresh on every
+	// /metrics scrape whether or not the trigger engine is enabled.
+	collector := obs.NewRuntimeCollector(reg, 100*time.Millisecond)
+
+	// Self-diagnosis: with -diag-dir set, recent requests and spans are kept
+	// in a flight-recorder ring and anomaly signals (SLO burn, queue
+	// saturation, goroutine pileup, GC pause spikes) capture debounced
+	// diagnostic bundles to disk.
+	var recorder *obs.FlightRecorder
+	if *diagDir != "" {
+		recorder = obs.NewFlightRecorder(*diagRing, 4*(*diagRing))
+		recorder.Bind(reg)
+		if tracer == nil {
+			tracer = obs.NewTracer(nil) // spans feed the ring only
+		}
+		tracer.Mirror(recorder.RecordSpan)
 	}
 	// The SLO defaults come from the preset so server and load generator agree
 	// on the objective; the flags override per run.
@@ -152,19 +181,58 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Engine:         eng,
-		BatchSize:      *batchSize,
-		BatchLinger:    *batchLinger,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *requestTimeout,
-		Metrics:        reg,
-		Tracer:         tracer,
-		Events:         events,
-		SLO:            slo,
-		Search:         searchCfg,
+		Engine:             eng,
+		BatchSize:          *batchSize,
+		BatchLinger:        *batchLinger,
+		QueueDepth:         *queueDepth,
+		RequestTimeout:     *requestTimeout,
+		Metrics:            reg,
+		Tracer:             tracer,
+		Events:             events,
+		Recorder:           recorder,
+		SLO:                slo,
+		Search:             searchCfg,
+		RetryAfterFull:     ps.RetryAfterFull,
+		RetryAfterDraining: ps.RetryAfterDraining,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *diagDir != "" {
+		bundles, err := obs.NewBundleWriter(obs.BundleConfig{
+			Dir:                *diagDir,
+			MaxBundles:         *diagMaxBundles,
+			CPUProfileDuration: *diagCPUProfile,
+			Registry:           reg,
+			Recorder:           recorder,
+			Runtime:            collector,
+		})
+		if err != nil {
+			return fmt.Errorf("diag: %w", err)
+		}
+		trig := obs.NewTriggerEngine(obs.TriggerConfig{
+			Interval: *diagInterval,
+			Cooldown: *diagCooldown,
+			OnTrigger: func(why obs.TriggerReason) {
+				fmt.Fprintf(stderr, "roaserve: diag trigger %s (%s), capturing bundle\n", why.Signal, why.Detail)
+				if dir, err := bundles.Write(why); err != nil {
+					fmt.Fprintf(stderr, "roaserve: diag bundle: %v\n", err)
+				} else {
+					fmt.Fprintf(stderr, "roaserve: diag bundle %s\n", dir)
+				}
+			},
+		},
+			obs.BurnRateSignal(slo, "1m", *diagBurn),
+			obs.SaturationSignal("queue_depth", srv.QueueFill, *diagQueue),
+			obs.GoroutineSignal(collector, *diagGoroutines),
+			obs.GCPauseSignal(collector, *diagGCPause),
+		)
+		trig.Bind(reg)
+		trig.Start()
+		defer trig.Stop()
+		fmt.Fprintf(stderr, "roaserve: diag bundles to %s (burn >= %.1f, queue >= %.0f%%, goroutines >= %d, gc pause >= %v; cooldown %v)\n",
+			*diagDir, *diagBurn, *diagQueue*100, *diagGoroutines, *diagGCPause, *diagCooldown)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

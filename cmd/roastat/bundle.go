@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"roarray/internal/obs"
+)
+
+// resolveBundleDir accepts either a bundle directory itself or the diag
+// directory that holds bundles, in which case the newest bundle is selected.
+func resolveBundleDir(dir string) (string, error) {
+	if _, err := os.Stat(filepath.Join(dir, obs.BundleMetaFile)); err == nil {
+		return dir, nil
+	}
+	bundles, err := obs.ListBundles(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(bundles) == 0 {
+		return "", fmt.Errorf("%s holds no diagnostic bundles", dir)
+	}
+	return bundles[len(bundles)-1], nil // names sort oldest-first
+}
+
+// renderBundle turns a diagnostic bundle into a triage report: why the
+// capture fired, how the runtime trended into it, the slowest requests in the
+// flight ring (marked when /metrics exemplars also point at them), the
+// captured profiles, and finally the full metrics snapshot.
+func renderBundle(dir string, w io.Writer) error {
+	bdir, err := resolveBundleDir(dir)
+	if err != nil {
+		return err
+	}
+	meta, err := obs.ReadBundleMeta(bdir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "== roastat: bundle %s ==\n", bdir)
+	fmt.Fprintf(w, "-- trigger --\n")
+	fmt.Fprintf(w, "  signal   %s\n", meta.Reason.Signal)
+	fmt.Fprintf(w, "  detail   %s\n", meta.Reason.Detail)
+	fmt.Fprintf(w, "  captured %s (pid %d, %s)\n",
+		time.Unix(0, meta.CapturedUnixNs).UTC().Format(time.RFC3339), meta.PID, meta.GoVersion)
+	if meta.CPUProfileError != "" {
+		fmt.Fprintf(w, "  cpu profile FAILED: %s\n", meta.CPUProfileError)
+	} else {
+		fmt.Fprintf(w, "  cpu profile window %.0fms\n", meta.CPUProfileMs)
+	}
+
+	renderRuntimeTrend(w, filepath.Join(bdir, obs.BundleRuntimeFile))
+
+	// The metrics snapshot serves double duty: the exemplar join below and
+	// the full render at the end.
+	var snap *snapshot
+	if raw, err := os.ReadFile(filepath.Join(bdir, obs.BundleMetricsFile)); err == nil {
+		snap, _ = parseSnapshot(raw)
+	}
+	renderSlowRequests(w, filepath.Join(bdir, obs.BundleRequestsFile), snap)
+
+	fmt.Fprintln(w, "-- captured profiles --")
+	for _, f := range []string{obs.BundleCPUFile, obs.BundleHeapFile, obs.BundleGorosFile} {
+		if st, err := os.Stat(filepath.Join(bdir, f)); err == nil {
+			fmt.Fprintf(w, "  %-16s %d bytes  (go tool pprof %s)\n", f, st.Size(), filepath.Join(bdir, f))
+		}
+	}
+
+	if snap != nil {
+		render(w, snap, "metrics at capture")
+	}
+	return nil
+}
+
+func renderRuntimeTrend(w io.Writer, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	var samples []obs.RuntimeSample
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s obs.RuntimeSample
+		if json.Unmarshal(line, &s) == nil {
+			samples = append(samples, s)
+		}
+	}
+	if len(samples) == 0 {
+		return
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	span := time.Duration(last.TimeUnixNs - first.TimeUnixNs)
+	fmt.Fprintf(w, "-- runtime trend (%d samples over %v) --\n", len(samples), span.Round(time.Millisecond))
+	trend := func(label string, a, b float64, unit string) {
+		fmt.Fprintf(w, "  %-16s %.3g -> %.3g %s\n", label, a, b, unit)
+	}
+	trend("heap", float64(first.HeapBytes)/(1<<20), float64(last.HeapBytes)/(1<<20), "MiB")
+	trend("goroutines", float64(first.Goroutines), float64(last.Goroutines), "")
+	trend("gc pause p99", first.GCPauseP99*1e3, last.GCPauseP99*1e3, "ms")
+	trend("sched lat p99", first.SchedLatencyP99*1e3, last.SchedLatencyP99*1e3, "ms")
+	trend("gc cpu", first.GCCPUFraction*100, last.GCCPUFraction*100, "%")
+}
+
+func renderSlowRequests(w io.Writer, path string, snap *snapshot) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	reqs, err := obs.ReadRequestEvents(f)
+	f.Close()
+	if err != nil || len(reqs) == 0 {
+		return
+	}
+	// Exemplar ids from the metrics snapshot: a ring request that is also a
+	// bucket exemplar is the one /metrics was already pointing at.
+	exemplars := map[string]bool{}
+	if snap != nil {
+		for _, h := range snap.hists {
+			for _, id := range h.Exemplars {
+				if id != "" {
+					exemplars[id] = true
+				}
+			}
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].TotalMillis > reqs[j].TotalMillis })
+	n := len(reqs)
+	top := n
+	if top > 5 {
+		top = 5
+	}
+	fmt.Fprintf(w, "-- slowest requests (top %d of %d in flight ring; * = /metrics exemplar) --\n", top, n)
+	for _, ev := range reqs[:top] {
+		mark := " "
+		if exemplars[ev.ID] {
+			mark = "*"
+		}
+		extra := ev.Solver
+		if ev.FallbackStage != "" {
+			extra += " fallback=" + ev.FallbackStage
+		}
+		fmt.Fprintf(w, "  %s %-18s %-18s %3d  total %8.1fms  queue %7.1fms  batch %d  %s\n",
+			mark, ev.ID, ev.Outcome, ev.Status, ev.TotalMillis, ev.QueueMillis, ev.BatchSize, extra)
+	}
+}

@@ -11,6 +11,8 @@
 //	roastat -metrics http://127.0.0.1:8092/metrics -watch 2s -count 5
 //	roastat -events events.jsonl -req 3f9ac21b547d6e80
 //	roastat -events trace.jsonl  -req 3f9ac21b547d6e80
+//	roastat -bundle diag/                       # newest bundle under diag/
+//	roastat -bundle diag/bundle-20260808T...    # one specific bundle
 //
 // A snapshot render has three sections: the RED counters (request rate,
 // errors, batching), every histogram with bucket-interpolated p50/p95 plus
@@ -22,6 +24,12 @@
 // value. -events works on both telemetry JSONL shapes: request events match
 // on "id", trace spans on "req"; the exit status is non-zero when nothing
 // matched, so scripts can gate on a request having left records.
+//
+// -bundle renders an anomaly-triggered diagnostic bundle (written by roaserve
+// -diag-dir) as a triage report: the trigger reason, the runtime trend
+// leading into the capture, the slowest requests in the flight ring (marked
+// when a /metrics exemplar points at the same request), the captured pprof
+// profiles, and the full metrics snapshot at capture time.
 package main
 
 import (
@@ -57,10 +65,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	events := fs.String("events", "", "filter a request-event or trace JSONL file by -req instead of reading metrics")
 	req := fs.String("req", "", "request id to select -events records by")
 	raw := fs.Bool("raw", false, "dump the -metrics snapshot as raw JSON (for saving and later -diff) instead of rendering")
+	bundle := fs.String("bundle", "", "render a diagnostic bundle directory (or the newest bundle under it) as a triage report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *bundle != "" {
+		return renderBundle(*bundle, stdout)
+	}
 	if *events != "" {
 		if *req == "" {
 			return fmt.Errorf("-events needs -req <request-id>")
@@ -192,6 +204,7 @@ var redRows = []struct{ metric, label string }{
 	{"serve.rejected_draining_total", "rejected 503 (draining)"},
 	{"serve.batches_total", "batches flushed"},
 	{"serve.panics_total", "batch panics"},
+	{"obs.eventlog.dropped_total", "events dropped"},
 }
 
 func render(w io.Writer, s *snapshot, label string) {

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roarray/internal/obs"
+)
+
+// writeFile drops raw bytes where a test needs a metrics "snapshot".
+func writeFile(t *testing.T, name string, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRenderMalformedSnapshots pins roastat's behavior on broken /metrics
+// input: an error, never a panic or a silent empty render.
+func TestRenderMalformedSnapshots(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty file", nil},
+		{"truncated json", []byte(`{"serve.accepted_total": 12, "serve.e2e.seco`)},
+		{"wrong top-level shape", []byte(`["not","an","object"]`)},
+		{"histogram with wrong schema", []byte(`{"serve.e2e.seconds": {"counts": "not-an-array"}}`)},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		err := run([]string{"-metrics", writeFile(t, "bad.json", c.raw)}, &out, &errb)
+		if err == nil {
+			t.Fatalf("%s: accepted, rendered:\n%s", c.name, out.String())
+		}
+	}
+	// Missing file entirely.
+	var out, errb bytes.Buffer
+	if err := run([]string{"-metrics", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRenderTolerantOfUnknownScalars pins forward compatibility the other
+// way: valid JSON with unknown non-metric values renders what it understands
+// and skips the rest.
+func TestRenderTolerantOfUnknownScalars(t *testing.T) {
+	raw := []byte(`{"serve.accepted_total": 3, "some.future.metric": "a string", "another": true}`)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-metrics", writeFile(t, "forward.json", raw)}, &out, &errb); err != nil {
+		t.Fatalf("forward-compatible snapshot rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "accepted") {
+		t.Fatalf("known scalar not rendered:\n%s", out.String())
+	}
+}
+
+// TestRawValidates pins that -raw refuses to pass through a snapshot that
+// does not parse (so saved files are always -diff-able later).
+func TestRawValidates(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-metrics", writeFile(t, "trunc.json", []byte(`{"x": 1`)), "-raw"}, &out, &errb); err == nil {
+		t.Fatal("-raw passed through a truncated snapshot")
+	}
+}
+
+// TestEventLogDroppedRenders pins the satellite: obs.eventlog.dropped_total
+// appears in the RED table when the event log is bound and shedding.
+func TestEventLogDroppedRenders(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.accepted_total").Add(1)
+	// A zero-depth... EventLog depth floors at 256; instead wedge the sink:
+	// a log with no reader drains instantly, so force drops by logging into a
+	// closed log.
+	log := obs.NewEventLog(&bytes.Buffer{}, 1)
+	log.Bind(reg)
+	log.Close()
+	log.Log(obs.RequestEvent{ID: "late"}) // after Close: counted as dropped
+
+	path := writeFile(t, "snap.json", nil)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-metrics", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events dropped") || !strings.Contains(out.String(), "1") {
+		t.Fatalf("dropped-events row missing:\n%s", out.String())
+	}
+}
+
+// TestRenderBundle writes a real diagnostic bundle through the obs layer and
+// pins the triage report: trigger reason, runtime trend, slowest requests
+// with the exemplar marker, and the embedded metrics render.
+func TestRenderBundle(t *testing.T) {
+	diag := t.TempDir()
+	reg := obs.NewRegistry()
+	reg.Counter("serve.accepted_total").Add(9)
+	h := reg.Histogram("serve.e2e.seconds", 0.01, 0.1, 1)
+	h.ObserveExemplar(0.5, "slowest-req")
+	col := obs.NewRuntimeCollector(reg, time.Nanosecond)
+	col.Sample()
+	rec := obs.NewFlightRecorder(8, 8)
+	tr := obs.NewTracer(nil)
+	tr.Mirror(rec.RecordSpan)
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("ring-req-%d", i)
+		if i == 3 {
+			id = "slowest-req" // joins the histogram exemplar
+		}
+		_, sp := obs.StartSpan(obs.WithTracer(obs.WithRequestID(context.Background(), id), tr), "serve.request")
+		sp.End()
+		rec.RecordRequest(obs.RequestEvent{
+			ID: id, Outcome: "ok", Status: 200, TotalMillis: float64(100 * (i + 1)),
+		})
+	}
+	w, err := obs.NewBundleWriter(obs.BundleConfig{
+		Dir:                diag,
+		CPUProfileDuration: 10 * time.Millisecond,
+		Registry:           reg,
+		Recorder:           rec,
+		Runtime:            col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdir, err := w.Write(obs.TriggerReason{
+		Signal: "slo_burn_1m", Detail: "latency burn 1m = 42.0 (>= 10.0)",
+		TimeUnixNs: time.Now().UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Render via the diag dir (newest-bundle selection) and directly.
+	for _, target := range []string{diag, bdir} {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-bundle", target}, &out, &errb); err != nil {
+			t.Fatalf("render %s: %v", target, err)
+		}
+		got := out.String()
+		for _, want := range []string{
+			"slo_burn_1m",
+			"latency burn 1m = 42.0",
+			"runtime trend",
+			"slowest requests",
+			"slowest-req",
+			"* slowest-req", // exemplar marker on the joined request
+			"cpu.pprof",
+			"metrics at capture",
+			"accepted",
+		} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("bundle report for %s missing %q:\n%s", target, want, got)
+			}
+		}
+		// The slowest request sorts first: 400 ms tops the ring.
+		slowIdx := strings.Index(got, "slowest-req")
+		ringIdx := strings.Index(got, "ring-req-2")
+		if slowIdx < 0 || ringIdx < 0 || slowIdx > ringIdx {
+			t.Fatalf("slow requests not sorted by total time:\n%s", got)
+		}
+	}
+}
+
+// TestRenderBundleErrors pins the failure modes: no bundles, and a bundle
+// whose meta is from an incompatible future schema.
+func TestRenderBundleErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bundle", t.TempDir()}, &out, &errb); err == nil {
+		t.Fatal("empty diag dir accepted")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, obs.BundleMetaFile), []byte(`{"schema":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bundle", bad}, &out, &errb); err == nil {
+		t.Fatal("future-schema bundle accepted")
+	}
+}

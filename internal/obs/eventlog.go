@@ -179,6 +179,25 @@ func (l *EventLog) WriteErrors() int64 {
 	return l.errs.Load()
 }
 
+// Bind exports the log's health counters into reg as gauges refreshed on
+// every snapshot — obs.eventlog.logged_total, obs.eventlog.dropped_total,
+// and obs.eventlog.write_errors_total — so a scrape shows when the bounded
+// log is shedding events instead of the counter sitting invisible in the
+// process. Nil-safe on both sides.
+func (l *EventLog) Bind(reg *Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	logged := reg.Gauge("obs.eventlog.logged_total")
+	dropped := reg.Gauge("obs.eventlog.dropped_total")
+	errs := reg.Gauge("obs.eventlog.write_errors_total")
+	reg.OnSnapshot(func() {
+		logged.Set(float64(l.Logged()))
+		dropped.Set(float64(l.Dropped()))
+		errs.Set(float64(l.WriteErrors()))
+	})
+}
+
 // Close flushes buffered events and stops the writer goroutine. Log calls
 // racing Close are dropped (and counted), never panicked. Safe on nil and
 // idempotent.

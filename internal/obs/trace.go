@@ -37,13 +37,30 @@ type SpanEvent struct {
 type Tracer struct {
 	mu     sync.Mutex
 	w      io.Writer
+	mirror func(SpanEvent)
 	nextID atomic.Uint64
 	errs   atomic.Int64
 }
 
-// NewTracer returns a tracer streaming JSONL span events to w.
+// NewTracer returns a tracer streaming JSONL span events to w. A nil w is
+// allowed: spans are then delivered only to the Mirror hook (no JSON is even
+// encoded), which is how the flight recorder runs without a trace file.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w}
+}
+
+// Mirror registers fn to receive every completed span event in-process, in
+// addition to (and before) the JSONL stream — the flight recorder's tap
+// (FlightRecorder.RecordSpan fits directly). fn must be fast and must not
+// block; it runs on the goroutine ending the span. Nil-safe; a nil fn clears
+// the mirror.
+func (t *Tracer) Mirror(fn func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mirror = fn
+	t.mu.Unlock()
 }
 
 // WriteErrors reports how many span events failed to serialize or write
@@ -56,6 +73,15 @@ func (t *Tracer) WriteErrors() int64 {
 }
 
 func (t *Tracer) emit(ev SpanEvent) {
+	t.mu.Lock()
+	mirror, w := t.mirror, t.w
+	t.mu.Unlock()
+	if mirror != nil {
+		mirror(ev)
+	}
+	if w == nil {
+		return
+	}
 	line, err := json.Marshal(ev)
 	if err != nil {
 		t.errs.Add(1)
@@ -63,7 +89,7 @@ func (t *Tracer) emit(ev SpanEvent) {
 	}
 	line = append(line, '\n')
 	t.mu.Lock()
-	_, err = t.w.Write(line)
+	_, err = w.Write(line)
 	t.mu.Unlock()
 	if err != nil {
 		t.errs.Add(1)

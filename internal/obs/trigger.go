@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TriggerReason records why a diagnostic capture fired: which signal, the
+// human-readable detail ("latency burn 1m = 42.0 (>= 10.0)"), and when.
+type TriggerReason struct {
+	Signal     string `json:"signal"`
+	Detail     string `json:"detail"`
+	TimeUnixNs int64  `json:"tNs"`
+}
+
+// TriggerSignal is one watched condition. Check is called on every
+// evaluation tick and reports whether the condition currently holds, plus a
+// detail string quoting the observed value against its threshold (evaluated
+// lazily — only a firing check's detail is retained).
+type TriggerSignal struct {
+	Name  string
+	Check func() (fired bool, detail string)
+}
+
+// TriggerConfig parameterizes a TriggerEngine.
+type TriggerConfig struct {
+	// Interval is the evaluation cadence; <= 0 selects 1 s.
+	Interval time.Duration
+	// Cooldown debounces firings: after a trigger fires, further firings are
+	// suppressed (and counted) until the cooldown elapses, so a sustained
+	// anomaly produces one bundle, not one per tick. <= 0 selects 2 min.
+	Cooldown time.Duration
+	// OnTrigger runs on a debounced firing — the bundle writer. It executes
+	// on the engine's own goroutine, so a slow capture (a CPU profile takes
+	// its full profiling window) simply delays the next evaluation tick;
+	// request-path goroutines are never involved.
+	OnTrigger func(TriggerReason)
+}
+
+func (c TriggerConfig) withDefaults() TriggerConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Minute
+	}
+	return c
+}
+
+// TriggerEngine polls a set of anomaly signals (SLO burn rates, queue
+// saturation, goroutine pileups, GC pause spikes) on a fixed cadence and
+// invokes a capture callback on debounced firings. Start/Stop bound the
+// background loop; Evaluate is the loop body, exported so tests (and the
+// e2e gate) can drive it against an explicit clock. A nil engine no-ops.
+type TriggerEngine struct {
+	cfg     TriggerConfig
+	signals []TriggerSignal
+
+	mu       sync.Mutex
+	lastFire time.Time
+	fired    int64
+	suppress int64
+	lastWhy  TriggerReason
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewTriggerEngine returns an engine watching the given signals. The engine
+// is inert until Start.
+func NewTriggerEngine(cfg TriggerConfig, signals ...TriggerSignal) *TriggerEngine {
+	return &TriggerEngine{
+		cfg:     cfg.withDefaults(),
+		signals: signals,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the background evaluation loop. Safe on nil and idempotent.
+func (e *TriggerEngine) Start() {
+	if e == nil {
+		return
+	}
+	e.startOnce.Do(func() {
+		go func() {
+			defer close(e.done)
+			t := time.NewTicker(e.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case now := <-t.C:
+					e.Evaluate(now)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and waits for it to exit (including any capture in
+// progress). Safe on nil, idempotent, and safe without a prior Start.
+func (e *TriggerEngine) Stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.startOnce.Do(func() { close(e.done) }) // never started: mark done
+	<-e.done
+}
+
+// Evaluate runs one evaluation tick at the given clock: signals are checked
+// in order, the first firing one wins, and the debounce window decides
+// whether the capture callback runs (returning the reason) or the firing is
+// suppressed (returning nil). Nil-safe.
+func (e *TriggerEngine) Evaluate(now time.Time) *TriggerReason {
+	if e == nil {
+		return nil
+	}
+	var why *TriggerReason
+	for _, sig := range e.signals {
+		if fired, detail := sig.Check(); fired {
+			why = &TriggerReason{Signal: sig.Name, Detail: detail, TimeUnixNs: now.UnixNano()}
+			break
+		}
+	}
+	if why == nil {
+		return nil
+	}
+	e.mu.Lock()
+	if !e.lastFire.IsZero() && now.Sub(e.lastFire) < e.cfg.Cooldown {
+		e.suppress++
+		e.mu.Unlock()
+		return nil
+	}
+	e.lastFire = now
+	e.fired++
+	e.lastWhy = *why
+	e.mu.Unlock()
+	if e.cfg.OnTrigger != nil {
+		e.cfg.OnTrigger(*why)
+	}
+	return why
+}
+
+// Stats reports lifetime firing and suppression counts and the most recent
+// reason (zero before the first firing).
+func (e *TriggerEngine) Stats() (fired, suppressed int64, last TriggerReason) {
+	if e == nil {
+		return 0, 0, TriggerReason{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired, e.suppress, e.lastWhy
+}
+
+// Bind exports the engine's counters into reg as snapshot-refreshed gauges:
+// diag.trigger.fired_total, diag.trigger.suppressed_total, and
+// diag.trigger.last_unix_ns. Nil-safe on both sides.
+func (e *TriggerEngine) Bind(reg *Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	fired := reg.Gauge("diag.trigger.fired_total")
+	supp := reg.Gauge("diag.trigger.suppressed_total")
+	last := reg.Gauge("diag.trigger.last_unix_ns")
+	reg.OnSnapshot(func() {
+		f, s, why := e.Stats()
+		fired.Set(float64(f))
+		supp.Set(float64(s))
+		last.Set(float64(why.TimeUnixNs))
+	})
+}
+
+// BurnRateSignal fires when either the availability or the latency burn rate
+// of the named SLO window (e.g. "1m") reaches threshold — the "error budget
+// is burning far too fast" page condition a bundle should capture evidence
+// for.
+func BurnRateSignal(slo *SLO, window string, threshold float64) TriggerSignal {
+	return TriggerSignal{
+		Name: "slo_burn_" + window,
+		Check: func() (bool, string) {
+			for _, w := range slo.Windows() {
+				if w.Window != window {
+					continue
+				}
+				if w.AvailabilityBurn >= threshold {
+					return true, fmt.Sprintf("availability burn %s = %.1f (>= %.1f)", window, w.AvailabilityBurn, threshold)
+				}
+				if w.LatencyBurn >= threshold {
+					return true, fmt.Sprintf("latency burn %s = %.1f (>= %.1f)", window, w.LatencyBurn, threshold)
+				}
+			}
+			return false, ""
+		},
+	}
+}
+
+// SaturationSignal fires when a saturation fraction (0..1, e.g. admission
+// queue fill) reaches threshold.
+func SaturationSignal(name string, fill func() float64, threshold float64) TriggerSignal {
+	return TriggerSignal{
+		Name: name,
+		Check: func() (bool, string) {
+			if f := fill(); f >= threshold {
+				return true, fmt.Sprintf("%s fill %.2f (>= %.2f)", name, f, threshold)
+			}
+			return false, ""
+		},
+	}
+}
+
+// GoroutineSignal fires when the sampled goroutine count reaches max — the
+// goroutine-pileup detector. It samples the collector, so a firing tick also
+// refreshes the runtime gauges.
+func GoroutineSignal(c *RuntimeCollector, max int) TriggerSignal {
+	return TriggerSignal{
+		Name: "goroutines",
+		Check: func() (bool, string) {
+			if n := c.Sample().Goroutines; n >= max {
+				return true, fmt.Sprintf("goroutines %d (>= %d)", n, max)
+			}
+			return false, ""
+		},
+	}
+}
+
+// GCPauseSignal fires when the interval GC pause p99 reaches limit.
+func GCPauseSignal(c *RuntimeCollector, limit time.Duration) TriggerSignal {
+	lim := limit.Seconds()
+	return TriggerSignal{
+		Name: "gc_pause",
+		Check: func() (bool, string) {
+			if p := c.Sample().GCPauseP99; p >= lim {
+				return true, fmt.Sprintf("gc pause p99 %.1fms (>= %.1fms)", p*1e3, lim*1e3)
+			}
+			return false, ""
+		},
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubSignal fires whenever its flag is set.
+func stubSignal(name string, on *atomic.Bool) TriggerSignal {
+	return TriggerSignal{Name: name, Check: func() (bool, string) {
+		if on.Load() {
+			return true, name + " hot"
+		}
+		return false, ""
+	}}
+}
+
+func TestTriggerEngineDebounce(t *testing.T) {
+	var on atomic.Bool
+	var captures []TriggerReason
+	e := NewTriggerEngine(TriggerConfig{
+		Cooldown:  time.Minute,
+		OnTrigger: func(r TriggerReason) { captures = append(captures, r) },
+	}, stubSignal("queue_depth", &on))
+
+	base := time.Unix(1000, 0)
+	if why := e.Evaluate(base); why != nil {
+		t.Fatalf("fired with no signal hot: %+v", why)
+	}
+	on.Store(true)
+	why := e.Evaluate(base.Add(time.Second))
+	if why == nil || why.Signal != "queue_depth" || why.Detail != "queue_depth hot" {
+		t.Fatalf("first firing: %+v", why)
+	}
+	// The anomaly persists across many ticks: every further firing inside the
+	// cooldown is suppressed.
+	for i := 2; i < 30; i++ {
+		if why := e.Evaluate(base.Add(time.Duration(i) * time.Second)); why != nil {
+			t.Fatalf("tick %d fired inside cooldown", i)
+		}
+	}
+	// Past the cooldown it fires again.
+	if why := e.Evaluate(base.Add(2 * time.Minute)); why == nil {
+		t.Fatal("no refire after cooldown")
+	}
+	fired, suppressed, last := e.Stats()
+	if fired != 2 || suppressed != 28 {
+		t.Fatalf("fired %d suppressed %d, want 2/28", fired, suppressed)
+	}
+	if last.Signal != "queue_depth" {
+		t.Fatalf("last reason %+v", last)
+	}
+	if len(captures) != 2 {
+		t.Fatalf("%d captures, want 2", len(captures))
+	}
+}
+
+func TestTriggerEngineFirstSignalWins(t *testing.T) {
+	var a, b atomic.Bool
+	a.Store(true)
+	b.Store(true)
+	e := NewTriggerEngine(TriggerConfig{}, stubSignal("first", &a), stubSignal("second", &b))
+	if why := e.Evaluate(time.Unix(1, 0)); why == nil || why.Signal != "first" {
+		t.Fatalf("want the first signal to win, got %+v", why)
+	}
+}
+
+func TestTriggerEngineStartStop(t *testing.T) {
+	var on atomic.Bool
+	var fired atomic.Int64
+	e := NewTriggerEngine(TriggerConfig{
+		Interval:  time.Millisecond,
+		Cooldown:  time.Hour,
+		OnTrigger: func(TriggerReason) { fired.Add(1) },
+	}, stubSignal("s", &on))
+	e.Start()
+	e.Start() // idempotent
+	on.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for fired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("background loop fired %d times, want exactly 1 (debounced)", got)
+	}
+}
+
+func TestTriggerEngineStopWithoutStart(t *testing.T) {
+	e := NewTriggerEngine(TriggerConfig{})
+	e.Stop() // must not hang or panic
+	var nilEngine *TriggerEngine
+	nilEngine.Start()
+	nilEngine.Stop()
+	if why := nilEngine.Evaluate(time.Now()); why != nil {
+		t.Fatal("nil engine fired")
+	}
+}
+
+func TestTriggerEngineBind(t *testing.T) {
+	reg := NewRegistry()
+	var on atomic.Bool
+	on.Store(true)
+	e := NewTriggerEngine(TriggerConfig{Cooldown: time.Hour}, stubSignal("s", &on))
+	e.Bind(reg)
+	now := time.Unix(42, 0)
+	e.Evaluate(now)
+	e.Evaluate(now.Add(time.Second)) // suppressed
+	snap := reg.Snapshot()
+	if got := snap["diag.trigger.fired_total"].(float64); got != 1 {
+		t.Fatalf("fired_total %v", got)
+	}
+	if got := snap["diag.trigger.suppressed_total"].(float64); got != 1 {
+		t.Fatalf("suppressed_total %v", got)
+	}
+	if got := snap["diag.trigger.last_unix_ns"].(float64); got != float64(now.UnixNano()) {
+		t.Fatalf("last_unix_ns %v", got)
+	}
+}
+
+func TestBurnRateSignal(t *testing.T) {
+	slo := NewSLO(SLOConfig{LatencyObjective: 10 * time.Millisecond, Target: 0.99})
+	sig := BurnRateSignal(slo, "1m", 10)
+	if fired, _ := sig.Check(); fired {
+		t.Fatal("fired on an empty window")
+	}
+	// Every request misses the latency objective: latency burn = 100.
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		slo.ObserveAt(now, true, 50*time.Millisecond)
+	}
+	fired, detail := sig.Check()
+	if !fired {
+		t.Fatal("did not fire with the full window breaching")
+	}
+	if detail == "" {
+		t.Fatal("firing without detail")
+	}
+}
+
+func TestSaturationSignal(t *testing.T) {
+	fill := 0.0
+	sig := SaturationSignal("queue_depth", func() float64 { return fill }, 0.9)
+	if fired, _ := sig.Check(); fired {
+		t.Fatal("fired at zero fill")
+	}
+	fill = 0.95
+	if fired, detail := sig.Check(); !fired || detail == "" {
+		t.Fatalf("fired=%v detail=%q", fired, detail)
+	}
+}
+
+func TestGoroutineAndGCPauseSignals(t *testing.T) {
+	c := NewRuntimeCollector(nil, time.Nanosecond)
+	if fired, _ := GoroutineSignal(c, 1).Check(); !fired {
+		t.Fatal("goroutine signal with max 1 must fire (the test goroutine exists)")
+	}
+	if fired, _ := GoroutineSignal(c, 1<<30).Check(); fired {
+		t.Fatal("goroutine signal fired below an absurd ceiling")
+	}
+	if fired, _ := GCPauseSignal(c, time.Hour).Check(); fired {
+		t.Fatal("gc pause signal fired below an hour-long pause bound")
+	}
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roarray/internal/obs"
+)
+
+// diagCheckPprof asserts path holds a non-empty gzipped pprof protobuf.
+func diagCheckPprof(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("%s is not a gzipped profile (%d bytes)", path, len(raw))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("gunzip %s: %v", path, err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil || len(body) == 0 {
+		t.Fatalf("decompress %s: %d bytes, err %v", path, len(body), err)
+	}
+}
+
+// TestDiagBundleEndToEnd is the acceptance path of the self-diagnosis layer:
+// a served traffic spike breaches the SLO, the trigger engine's background
+// loop fires exactly once (debounced), and the captured bundle holds valid
+// CPU/heap/goroutine profiles, a flight-recorder ring whose request ids join
+// the wide-event log, the trigger reason, and a metrics snapshot carrying the
+// runtime.* gauges.
+//
+// Determinism: the SLO latency objective is 1 ns, so every successfully
+// served request breaches it — latency burn = (1-0)/(1-0.99) = 100, far over
+// the threshold of 10 — and a 10-minute cooldown guarantees the sustained
+// breach still produces exactly one bundle. Not parallel: the capture takes
+// the process-global CPU profiler.
+func TestDiagBundleEndToEnd(t *testing.T) {
+	eng := serveTestEngine(t, 2)
+	reqs := serveTestRequests(t, 4, 2, 81)
+
+	reg := obs.NewRegistry()
+	collector := obs.NewRuntimeCollector(reg, time.Millisecond)
+	recorder := obs.NewFlightRecorder(64, 256)
+	recorder.Bind(reg)
+	tracer := obs.NewTracer(nil) // spans feed the ring only
+	tracer.Mirror(recorder.RecordSpan)
+	var eventBuf obsSyncBuffer
+	events := obs.NewEventLog(&eventBuf, 64)
+	events.Bind(reg)
+	slo := obs.NewSLO(obs.SLOConfig{LatencyObjective: time.Nanosecond, Target: 0.99})
+	slo.Bind(reg)
+
+	srv, err := New(Config{
+		Engine:      eng,
+		BatchLinger: time.Millisecond,
+		Metrics:     reg,
+		Tracer:      tracer,
+		Events:      events,
+		Recorder:    recorder,
+		SLO:         slo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	diagDir := t.TempDir()
+	bundles, err := obs.NewBundleWriter(obs.BundleConfig{
+		Dir:                diagDir,
+		MaxBundles:         4,
+		CPUProfileDuration: 50 * time.Millisecond,
+		Registry:           reg,
+		Recorder:           recorder,
+		Runtime:            collector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig := obs.NewTriggerEngine(obs.TriggerConfig{
+		Interval:  10 * time.Millisecond,
+		Cooldown:  10 * time.Minute, // sustained breach, exactly one capture
+		OnTrigger: bundles.Capture,
+	},
+		obs.BurnRateSignal(slo, "1m", 10),
+		obs.SaturationSignal("queue_depth", srv.QueueFill, 0.9),
+	)
+	trig.Start()
+	defer trig.Stop()
+
+	// The spike: every served request breaches the 1 ns objective.
+	for i, req := range reqs {
+		status, body := postLocalize(t, ts.Client(), ts.URL, FromCore(req))
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, body)
+		}
+	}
+
+	// The background loop fires within a tick or two; captures block for the
+	// 50 ms profile window.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if fired, _, _ := trig.Stats(); fired > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trigger engine never fired under a breached SLO")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Let several more evaluation ticks pass: the debounce must keep the
+	// sustained breach from writing a second bundle.
+	time.Sleep(100 * time.Millisecond)
+	trig.Stop()
+
+	fired, suppressed, why := trig.Stats()
+	if fired != 1 {
+		t.Fatalf("fired %d bundles, want exactly 1 (debounced)", fired)
+	}
+	if suppressed == 0 {
+		t.Fatal("sustained breach suppressed nothing — debounce untested")
+	}
+	if why.Signal != "slo_burn_1m" || !strings.Contains(why.Detail, "latency burn") {
+		t.Fatalf("trigger reason %+v", why)
+	}
+
+	dirs, err := obs.ListBundles(diagDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("%d bundles on disk, want exactly 1: %v", len(dirs), dirs)
+	}
+	bdir := dirs[0]
+
+	meta, err := obs.ReadBundleMeta(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason.Signal != "slo_burn_1m" {
+		t.Fatalf("bundle reason %+v", meta.Reason)
+	}
+	if meta.CPUProfileError != "" {
+		t.Fatalf("cpu profile failed: %s", meta.CPUProfileError)
+	}
+	if meta.Requests == 0 || meta.Spans == 0 || meta.RuntimeSamples == 0 {
+		t.Fatalf("bundle counts %+v", meta)
+	}
+
+	for _, f := range []string{obs.BundleCPUFile, obs.BundleHeapFile, obs.BundleGorosFile} {
+		diagCheckPprof(t, filepath.Join(bdir, f))
+	}
+
+	// The flight ring is non-empty and every ring id joins the event log.
+	rf, err := os.Open(filepath.Join(bdir, obs.BundleRequestsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringEvents, err := obs.ReadRequestEvents(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ringEvents) == 0 {
+		t.Fatal("flight ring dump is empty")
+	}
+	events.Close()
+	logged, err := obs.ReadRequestEvents(strings.NewReader(eventBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loggedIDs := map[string]bool{}
+	for _, ev := range logged {
+		loggedIDs[ev.ID] = true
+	}
+	for _, ev := range ringEvents {
+		if !loggedIDs[ev.ID] {
+			t.Fatalf("ring request %s absent from the event log (%d logged)", ev.ID, len(logged))
+		}
+	}
+	// Spans in the bundle join the same ids.
+	spanRaw, err := os.ReadFile(filepath.Join(bdir, obs.BundleSpansFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := 0
+	for _, ev := range ringEvents {
+		if bytes.Contains(spanRaw, []byte(`"req":"`+ev.ID+`"`)) {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no ring request has a joined span in spans.jsonl")
+	}
+
+	// The bundle's metrics snapshot holds serving and runtime telemetry.
+	var snap map[string]json.RawMessage
+	metRaw, err := os.ReadFile(filepath.Join(bdir, obs.BundleMetricsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(metRaw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"serve.accepted_total", "runtime.heap_bytes", "runtime.goroutines",
+		"obs.flight.requests_total", "obs.eventlog.logged_total",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("bundle metrics.json lacks %s", key)
+		}
+	}
+
+	// The live /metrics surface carries the runtime gauges too.
+	mts := httptest.NewServer(obs.NewMux(reg))
+	defer mts.Close()
+	mres, err := http.Get(mts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	var live map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &live); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"runtime.heap_bytes", "runtime.goroutines", "runtime.gc_pause_p99_seconds",
+		"runtime.sched_latency_p99_seconds", "runtime.gc_cpu_fraction",
+	} {
+		if _, ok := live[key]; !ok {
+			t.Fatalf("/metrics lacks %s", key)
+		}
+	}
+}

@@ -309,6 +309,13 @@ func TestServeObservedMatchesPlain(t *testing.T) {
 			cfg.Events = obs.NewEventLog(io.Discard, 16)
 			cfg.SLO = obs.NewSLO(obs.SLOConfig{})
 			cfg.SLO.Bind(reg)
+			// The self-diagnosis layer rides too: flight recorder fed by both
+			// the event fan-out and the tracer mirror, runtime collector on
+			// the registry. Metered must still mean bit-identical.
+			cfg.Recorder = obs.NewFlightRecorder(16, 64)
+			cfg.Recorder.Bind(reg)
+			cfg.Tracer.Mirror(cfg.Recorder.RecordSpan)
+			obs.NewRuntimeCollector(reg, time.Millisecond)
 		}
 		srv, err := New(cfg)
 		if err != nil {

@@ -29,6 +29,12 @@ type Preset struct {
 	// and attainment target the serving layer tracks (and roaload gates on)
 	// unless overridden by flags.
 	SLO obs.SLOConfig
+	// RetryAfterFull and RetryAfterDraining seed the Retry-After advice the
+	// preset's server gives on 429/503 rejections (see Config). Slow working
+	// points advertise longer backoff: a paper-preset solve takes seconds, so
+	// retrying a second later just burns another queue slot.
+	RetryAfterFull     time.Duration
+	RetryAfterDraining time.Duration
 }
 
 // LookupPreset resolves a preset by name:
@@ -53,6 +59,10 @@ func LookupPreset(name string) (*Preset, error) {
 			// Paper-faithful solves cost seconds of CPU each; the latency
 			// objective reflects that working point.
 			SLO: obs.SLOConfig{LatencyObjective: 10 * time.Second, Target: 0.99},
+			// A paper solve holds a worker for seconds; tell rejected
+			// clients to stay away long enough for a batch to clear.
+			RetryAfterFull:     5 * time.Second,
+			RetryAfterDraining: 10 * time.Second,
 		}, nil
 	case "smoke":
 		ofdm := wireless.OFDM{NumSubcarriers: 8, SubcarrierSpacing: 4e6}
@@ -73,6 +83,10 @@ func LookupPreset(name string) (*Preset, error) {
 			// Smoke solves finish in tens of milliseconds; 99% under 250 ms
 			// is the CI-checkable objective.
 			SLO: obs.SLOConfig{LatencyObjective: 250 * time.Millisecond, Target: 0.99},
+			// Smoke solves clear in tens of milliseconds; the serve-layer
+			// defaults are already the right advice.
+			RetryAfterFull:     time.Second,
+			RetryAfterDraining: 5 * time.Second,
 		}, nil
 	default:
 		return nil, fmt.Errorf("serve: unknown preset %q (want \"paper\" or \"smoke\")", name)

@@ -23,7 +23,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +74,19 @@ type Config struct {
 	// request outcome (accepted or rejected). The log is bounded and
 	// droppable, so a wedged sink never blocks the request path.
 	Events *obs.EventLog
+	// Recorder, when non-nil, keeps the flight-recorder ring of recent
+	// request events fed: every terminal outcome is copied into the ring
+	// (zero allocations per event) so an anomaly-triggered diagnostic bundle
+	// can dump the requests leading into the incident. Span mirroring is
+	// wired on the Tracer (obs.Tracer.Mirror), not here.
+	Recorder *obs.FlightRecorder
+	// RetryAfterFull and RetryAfterDraining seed the Retry-After advice on
+	// 429 (queue full) and 503 (draining) rejections; <= 0 selects 1 s and
+	// 5 s. The advertised value scales with the current queue fill —
+	// ceil((1 + fill) * seed), never below 1 s — so a saturated server asks
+	// clients to back off up to twice as long as an idle one.
+	RetryAfterFull     time.Duration
+	RetryAfterDraining time.Duration
 	// SLO, when non-nil, tracks rolling-window availability and latency
 	// attainment over the served traffic. Client errors (400/405) are not
 	// observed — they spend the client's budget, not the server's. Bind it
@@ -88,6 +103,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.RetryAfterFull <= 0 {
+		c.RetryAfterFull = time.Second
+	}
+	if c.RetryAfterDraining <= 0 {
+		c.RetryAfterDraining = 5 * time.Second
 	}
 	return c
 }
@@ -418,7 +439,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		if s.met != nil {
 			s.met.rejectedDrn.Inc()
 		}
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter(s.cfg.RetryAfterDraining))
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		s.cfg.SLO.Observe(false, time.Since(t0))
 		s.event(obs.RequestEvent{
@@ -436,7 +457,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		if s.met != nil {
 			s.met.rejectedFull.Inc()
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(s.cfg.RetryAfterFull))
 		writeError(w, http.StatusTooManyRequests, "queue full")
 		s.cfg.SLO.Observe(false, time.Since(t0))
 		s.event(obs.RequestEvent{
@@ -545,14 +566,32 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	s.event(ev)
 }
 
-// event stamps and logs one wide-event record; a nil Config.Events makes it
-// a nil-check no-op.
+// event stamps one wide-event record and fans it out to the event log and
+// the flight recorder; with neither configured it is a nil-check no-op.
 func (s *Server) event(ev obs.RequestEvent) {
-	if s.cfg.Events == nil {
+	if s.cfg.Events == nil && s.cfg.Recorder == nil {
 		return
 	}
 	ev.TimeUnixNs = time.Now().UnixNano()
+	s.cfg.Recorder.RecordRequest(ev)
 	s.cfg.Events.Log(ev)
+}
+
+// QueueFill reports the admission queue's current fill fraction (0..1) —
+// the saturation signal the diagnostic trigger engine watches.
+func (s *Server) QueueFill() float64 {
+	return float64(len(s.queue)) / float64(cap(s.queue))
+}
+
+// retryAfter renders the Retry-After advice for a rejection: the configured
+// seed scaled by the current queue fill, ceil((1 + fill) * seed) in whole
+// seconds, never below 1.
+func (s *Server) retryAfter(seed time.Duration) string {
+	secs := int(math.Ceil((1 + s.QueueFill()) * seed.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

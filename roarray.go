@@ -33,6 +33,7 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"roarray/internal/core"
 	"roarray/internal/obs"
@@ -213,6 +214,63 @@ func NewSLO(cfg SLOConfig) *SLO { return obs.NewSLO(cfg) }
 // ServeDebug starts an HTTP server on addr exposing reg at /metrics, expvar
 // at /debug/vars, and pprof at /debug/pprof.
 func ServeDebug(addr string, reg *Metrics) (*DebugServer, error) { return obs.Serve(addr, reg) }
+
+// Self-diagnosis layer, re-exported from internal/obs: a RuntimeCollector
+// samples Go runtime health into runtime.* gauges, a FlightRecorder keeps a
+// bounded in-memory ring of recent requests and spans at zero allocations
+// per event, a TriggerEngine watches anomaly signals (SLO burn, saturation,
+// goroutine pileups, GC pauses), and a BundleWriter captures debounced
+// diagnostic bundles — pprof profiles, ring dumps, metrics, runtime history —
+// to a bounded on-disk directory.
+type (
+	// RuntimeSample is one reading of runtime health (heap, GC, scheduler).
+	RuntimeSample = obs.RuntimeSample
+	// RuntimeCollector samples runtime/metrics into runtime.* gauges.
+	RuntimeCollector = obs.RuntimeCollector
+	// FlightRecorder is the bounded in-memory ring of recent telemetry.
+	FlightRecorder = obs.FlightRecorder
+	// TriggerReason records why a diagnostic capture fired.
+	TriggerReason = obs.TriggerReason
+	// TriggerSignal is one watched anomaly condition.
+	TriggerSignal = obs.TriggerSignal
+	// TriggerConfig parameterizes a TriggerEngine.
+	TriggerConfig = obs.TriggerConfig
+	// TriggerEngine polls signals and debounces capture callbacks.
+	TriggerEngine = obs.TriggerEngine
+	// BundleConfig parameterizes a BundleWriter.
+	BundleConfig = obs.BundleConfig
+	// BundleWriter captures diagnostic bundles to disk.
+	BundleWriter = obs.BundleWriter
+	// BundleMeta is a bundle's decoded meta.json.
+	BundleMeta = obs.BundleMeta
+)
+
+// NewRuntimeCollector returns a runtime-health sampler bound to reg (which
+// may be nil); samples closer together than minInterval are coalesced.
+func NewRuntimeCollector(reg *Metrics, minInterval time.Duration) *RuntimeCollector {
+	return obs.NewRuntimeCollector(reg, minInterval)
+}
+
+// NewFlightRecorder returns a bounded ring holding the most recent reqCap
+// request events and spanCap spans.
+func NewFlightRecorder(reqCap, spanCap int) *FlightRecorder {
+	return obs.NewFlightRecorder(reqCap, spanCap)
+}
+
+// NewTriggerEngine returns an anomaly watcher over the given signals; Start
+// launches its background evaluation loop.
+func NewTriggerEngine(cfg TriggerConfig, signals ...TriggerSignal) *TriggerEngine {
+	return obs.NewTriggerEngine(cfg, signals...)
+}
+
+// NewBundleWriter returns a diagnostic-bundle capturer writing to cfg.Dir.
+func NewBundleWriter(cfg BundleConfig) (*BundleWriter, error) { return obs.NewBundleWriter(cfg) }
+
+// ListBundles returns the bundle directories under dir, oldest first.
+func ListBundles(dir string) ([]string, error) { return obs.ListBundles(dir) }
+
+// ReadBundleMeta loads and validates a bundle's meta.json.
+func ReadBundleMeta(bundleDir string) (BundleMeta, error) { return obs.ReadBundleMeta(bundleDir) }
 
 // ErrNoPeaks is returned when a spectrum has no usable peaks.
 var ErrNoPeaks = core.ErrNoPeaks
