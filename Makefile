@@ -7,11 +7,11 @@ GO ?= go
 # Packages that share state across goroutines — the estimator/solver caches
 # and the observability registry/tracer — the race gate hammers exactly these
 # so the full -race sweep stays affordable.
-RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/...
+RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/... ./internal/venue/...
 
-.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke diag-smoke
+.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke diag-smoke shard-smoke bless-shard
 
-check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke diag-smoke
+check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke diag-smoke shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core/ -run XXX -fuzz '^FuzzSanitizeBurst$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/quality/ -run XXX -fuzz '^FuzzReadArtifact$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/obs/ -run XXX -fuzz '^FuzzEventDecode$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/venue/ -run XXX -fuzz '^FuzzVenueManifestDecode$$' -fuzztime $(FUZZ_TIME)
 
 # Graceful-degradation regression gate: re-run the fault-injection sweep at
 # the baseline's recorded settings and compare against BENCH_fault.json.
@@ -108,6 +109,19 @@ obs-smoke:
 # debounced bundle on disk, roastat -bundle rendering it).
 diag-smoke:
 	./scripts/diag_smoke.sh
+
+# End-to-end smoke of the multi-venue sharded serving tier (3-venue manifest,
+# Zipf swarm load, per-venue RED rows in roastat, LRU evictions under a
+# 2-venue budget, clean drain).
+shard-smoke:
+	./scripts/shard_smoke.sh
+
+# Re-record the committed BENCH_shard.json sharding baseline (1-vs-2 lane
+# throughput, cache-churn leg, bit-identity proof). The committed-artifact
+# gate is cmd/roaload TestCommittedShardBaseline, part of `make test`.
+# Review the diff before committing.
+bless-shard:
+	./scripts/shard_bench.sh
 
 # Re-record the committed BENCH_serve.json serving baseline (longer run,
 # pinned knobs). Review the diff before committing.

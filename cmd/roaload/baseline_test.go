@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// shardBaseline mirrors the slice of the committed BENCH_shard.json this
+// gate reads (produced by `make bless-shard`).
+type shardBaseline struct {
+	GOMAXPROCS           int     `json:"gomaxprocs"`
+	ThroughputRatio2v1   float64 `json:"throughputRatio2v1"`
+	Evictions            int64   `json:"evictions"`
+	IdenticalSingleVenue bool    `json:"identicalSingleVenue"`
+	Shards1              struct {
+		OK float64 `json:"ok"`
+	} `json:"shards1"`
+	Churn struct {
+		OK           float64            `json:"ok"`
+		Venues       int                `json:"venues"`
+		VenueOK      map[string]float64 `json:"venueOk"`
+		LatencyMsP99 float64            `json:"latencyMsP99"`
+		SLOLatencyMs float64            `json:"sloLatencyMs"`
+	} `json:"churn"`
+}
+
+// TestCommittedShardBaseline gates the committed BENCH_shard.json artifact:
+// the sharded serving tier must prove bit-identity with the pre-shard path,
+// show real cache churn in the eviction leg while keeping p99 inside the SLO
+// objective, and scale throughput with lanes. The scaling bar branches on the
+// record-time CPU count the same way BENCH_batch.json's parallel-engine gate
+// does: with GOMAXPROCS >= 2 two lanes must reach 1.8x one lane; on a 1-CPU
+// box the lanes time-slice a single core, a speedup cannot physically
+// manifest, and the gate instead requires the second lane to cost almost
+// nothing (>= 0.75x, i.e. bounded dispatch overhead).
+func TestCommittedShardBaseline(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_shard.json")
+	if err != nil {
+		t.Fatalf("read committed artifact: %v", err)
+	}
+	var base shardBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parse committed artifact: %v", err)
+	}
+
+	if !base.IdenticalSingleVenue {
+		t.Fatal("committed artifact reports sharded/pre-shard divergence — sharding changed answers")
+	}
+	if base.Shards1.OK == 0 || base.Churn.OK == 0 {
+		t.Fatal("committed artifact has an empty leg; re-bless with `make bless-shard`")
+	}
+
+	if base.GOMAXPROCS >= 2 {
+		if base.ThroughputRatio2v1 < 1.8 {
+			t.Fatalf("2-lane/1-lane throughput ratio %.2f < 1.8x on %d CPUs",
+				base.ThroughputRatio2v1, base.GOMAXPROCS)
+		}
+	} else if base.ThroughputRatio2v1 < 0.75 {
+		t.Fatalf("2-lane/1-lane throughput ratio %.2f < 0.75x — lane dispatch overhead regressed (1-CPU ceiling)",
+			base.ThroughputRatio2v1)
+	}
+
+	if base.Evictions < 1 {
+		t.Fatal("churn leg recorded no evictions — the working set never exceeded the cache budget")
+	}
+	if base.Churn.Venues < 3 {
+		t.Fatalf("churn leg covered %d venues, need >= 3 for real LRU churn", base.Churn.Venues)
+	}
+	served := 0
+	for _, n := range base.Churn.VenueOK {
+		if n > 0 {
+			served++
+		}
+	}
+	if served < 3 {
+		t.Fatalf("churn leg completed requests for only %d venues", served)
+	}
+	if base.Churn.SLOLatencyMs <= 0 {
+		t.Fatal("churn leg has no SLO objective recorded")
+	}
+	if base.Churn.LatencyMsP99 > base.Churn.SLOLatencyMs {
+		t.Fatalf("churn p99 %.1f ms blew through the %.0f ms objective under cache churn",
+			base.Churn.LatencyMsP99, base.Churn.SLOLatencyMs)
+	}
+}

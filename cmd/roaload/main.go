@@ -21,6 +21,12 @@
 //     saturates and latency blows through the SLO. This is the mode that
 //     provokes the serve-side diagnostic trigger engine (roaserve -diag-dir)
 //     into capturing a bundle; shed load (429/503) is expected, not an error.
+//   - swarm: multi-venue open-loop load against a roaserve started with
+//     -venues. Requires the same manifest (-venues); per-request venues are
+//     drawn from a Zipf popularity law (-zipf-s), the realistic skew where a
+//     few venues are hot and a long tail is cold, so the server's LRU venue
+//     cache sees genuine churn. Payloads are synthesized per venue from the
+//     manifest geometry with per-venue seeds; arrivals follow -rate.
 //
 // The request mix is -distinct synthetic workloads drawn from the same
 // preset the server was started with (dimensions must match), each from a
@@ -38,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -50,6 +57,7 @@ import (
 	"roarray/internal/obs"
 	"roarray/internal/serve"
 	"roarray/internal/testbed"
+	"roarray/internal/venue"
 )
 
 // Summary is the JSON bench line.
@@ -63,6 +71,12 @@ type Summary struct {
 	Packets     int     `json:"packets"`
 	Seed        int64   `json:"seed"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
+
+	// Swarm mode only: venue count in the manifest, the Zipf skew parameter,
+	// and per-venue completed-request counts.
+	Venues  int              `json:"venues,omitempty"`
+	ZipfS   float64          `json:"zipfS,omitempty"`
+	VenueOK map[string]int64 `json:"venueOk,omitempty"`
 
 	DurationSeconds float64 `json:"durationSeconds"`
 	Requests        int64   `json:"requests"`
@@ -119,11 +133,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	minMeanBatch := fs.Float64("min-mean-batch", 0, "gate: fail unless the mean observed batch size reaches this")
 	sloLatencyMs := fs.Float64("slo-latency-ms", 0, "SLO latency objective in ms for attainment (0 = preset default)")
 	sloOK := fs.Float64("slo-ok", 0, "gate: fail unless SLO attainment reaches this fraction (0 = no gate)")
+	venuesFile := fs.String("venues", "", "venue manifest for swarm mode (must match the server's)")
+	zipfS := fs.Float64("zipf-s", 1.2, "swarm venue popularity skew (Zipf exponent, > 1)")
+	minVenues := fs.Int("min-venues", 0, "gate: fail unless at least this many distinct venues completed a request")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *mode != "closed" && *mode != "open" && *mode != "spike" {
+	if *mode != "closed" && *mode != "open" && *mode != "spike" && *mode != "swarm" {
 		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if *mode == "swarm" && *venuesFile == "" {
+		return fmt.Errorf("-mode swarm requires -venues")
 	}
 	target, err := resolveAddr(*addr, *addrFile)
 	if err != nil {
@@ -139,19 +159,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if npackets <= 0 {
 		npackets = ps.Packets
 	}
-	fmt.Fprintf(stderr, "roaload: building %d request payloads (preset %s, %d packets)...\n",
-		*distinct, ps.Name, npackets)
-	reqs, _, err := ps.Deployment.BatchRequests(*distinct, npackets, testbed.ScenarioConfig{}, *seed)
-	if err != nil {
-		return fmt.Errorf("synthesize workload: %w", err)
-	}
-	bodies := make([][]byte, len(reqs))
-	for i, req := range reqs {
-		w := serve.FromCore(req)
-		w.DeadlineMillis = *deadlineMillis
-		bodies[i], err = json.Marshal(w)
+
+	// The request mix: single-venue modes draw -distinct payloads from the
+	// preset's deployment; swarm mode synthesizes -distinct payloads per venue
+	// from the manifest's own geometry, each venue from its own seed stream.
+	var venueIDs []string
+	var venueBodies [][][]byte
+	var bodies [][]byte
+	if *mode == "swarm" {
+		man, err := venue.LoadManifest(*venuesFile)
 		if err != nil {
 			return err
+		}
+		fmt.Fprintf(stderr, "roaload: building %d payloads for each of %d venues (%d packets)...\n",
+			*distinct, len(man.Venues), npackets)
+		for vi, spec := range man.Venues {
+			reqs, _, err := spec.Deployment().BatchRequests(*distinct, npackets, testbed.ScenarioConfig{}, *seed+int64(vi)*1000)
+			if err != nil {
+				return fmt.Errorf("synthesize venue %s: %w", spec.ID, err)
+			}
+			vb := make([][]byte, len(reqs))
+			for i, req := range reqs {
+				w := serve.FromCore(req)
+				w.VenueID = spec.ID
+				w.DeadlineMillis = *deadlineMillis
+				vb[i], err = json.Marshal(w)
+				if err != nil {
+					return err
+				}
+			}
+			venueIDs = append(venueIDs, spec.ID)
+			venueBodies = append(venueBodies, vb)
+		}
+	} else {
+		fmt.Fprintf(stderr, "roaload: building %d request payloads (preset %s, %d packets)...\n",
+			*distinct, ps.Name, npackets)
+		reqs, _, err := ps.Deployment.BatchRequests(*distinct, npackets, testbed.ScenarioConfig{}, *seed)
+		if err != nil {
+			return fmt.Errorf("synthesize workload: %w", err)
+		}
+		bodies = make([][]byte, len(reqs))
+		for i, req := range reqs {
+			w := serve.FromCore(req)
+			w.DeadlineMillis = *deadlineMillis
+			bodies[i], err = json.Marshal(w)
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -173,9 +227,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "roaload: spike mode, %d workers\n", workers)
 	}
 	start := time.Now()
-	if *mode == "open" {
+	switch *mode {
+	case "swarm":
+		runSwarm(client, url, venueIDs, venueBodies, *zipfS, *seed, *rate, *duration, *maxRequests, agg)
+	case "open":
 		runOpen(client, url, bodies, *rate, *duration, *maxRequests, agg)
-	} else {
+	default:
 		runClosed(client, url, bodies, workers, *duration, *maxRequests, agg)
 	}
 	elapsed := time.Since(start)
@@ -183,14 +240,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sum := agg.summarize(elapsed)
 	sum.Mode = *mode
 	sum.Preset = ps.Name
-	if *mode == "open" {
+	switch *mode {
+	case "open", "swarm":
 		sum.RateRPS = *rate
-	} else {
+	default:
 		sum.Concurrency = workers
 	}
 	sum.Distinct = *distinct
 	sum.Packets = npackets
 	sum.Seed = *seed
+	if *mode == "swarm" {
+		sum.Venues = len(venueIDs)
+		sum.ZipfS = *zipfS
+	}
 
 	line, err := json.Marshal(sum)
 	if err != nil {
@@ -226,6 +288,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("gate: SLO attainment %.4f (<= %.0fms), need >= %.4f",
 			sum.SLOAttainment, objectiveMs, *sloOK)
 	}
+	if *minVenues > 0 {
+		served := 0
+		for _, n := range sum.VenueOK {
+			if n > 0 {
+				served++
+			}
+		}
+		if served < *minVenues {
+			return fmt.Errorf("gate: %d distinct venues served, need >= %d", served, *minVenues)
+		}
+	}
 	return nil
 }
 
@@ -253,6 +326,7 @@ type aggregator struct {
 	objectiveMs float64
 	mu          sync.Mutex
 	latencies   []float64 // ms, successful requests only
+	venueOK     map[string]int64
 	batchSum    float64
 	queueSum    float64
 	ok          int64
@@ -267,10 +341,10 @@ type aggregator struct {
 }
 
 func newAggregator(objectiveMs float64) *aggregator {
-	return &aggregator{objectiveMs: objectiveMs}
+	return &aggregator{objectiveMs: objectiveMs, venueOK: make(map[string]int64)}
 }
 
-func (a *aggregator) record(status int, latency time.Duration, resp *serve.Response, idOK bool) {
+func (a *aggregator) record(status int, latency time.Duration, resp *serve.Response, idOK bool, venue string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.total++
@@ -280,6 +354,9 @@ func (a *aggregator) record(status int, latency time.Duration, resp *serve.Respo
 	switch status {
 	case http.StatusOK:
 		a.ok++
+		if venue != "" {
+			a.venueOK[venue]++
+		}
 		ms := latency.Seconds() * 1e3
 		a.latencies = append(a.latencies, ms)
 		if a.objectiveMs > 0 && ms <= a.objectiveMs {
@@ -351,6 +428,12 @@ func (a *aggregator) summarize(elapsed time.Duration) Summary {
 	if a.total > 0 {
 		sum.SLOAttainment = float64(a.fastOK) / float64(a.total)
 	}
+	if len(a.venueOK) > 0 {
+		sum.VenueOK = make(map[string]int64, len(a.venueOK))
+		for k, v := range a.venueOK {
+			sum.VenueOK[k] = v
+		}
+	}
 	return sum
 }
 
@@ -358,11 +441,11 @@ func (a *aggregator) summarize(elapsed time.Duration) Summary {
 // its outcome, verifying the server echoed the id on the header (every
 // status) and in the body (200s): the round trip that makes client logs
 // joinable against server traces, events, and exemplars.
-func post(client *http.Client, url string, body []byte, agg *aggregator) {
+func post(client *http.Client, url string, body []byte, venue string, agg *aggregator) {
 	rid := obs.NewRequestID()
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		agg.record(-1, 0, nil, true)
+		agg.record(-1, 0, nil, true, venue)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
@@ -370,27 +453,27 @@ func post(client *http.Client, url string, body []byte, agg *aggregator) {
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		agg.record(-1, 0, nil, true)
+		agg.record(-1, 0, nil, true, venue)
 		return
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	latency := time.Since(t0)
 	if err != nil {
-		agg.record(-1, 0, nil, true)
+		agg.record(-1, 0, nil, true, venue)
 		return
 	}
 	idOK := resp.Header.Get("X-Request-Id") == rid
 	if resp.StatusCode != http.StatusOK {
-		agg.record(resp.StatusCode, latency, nil, idOK)
+		agg.record(resp.StatusCode, latency, nil, idOK, venue)
 		return
 	}
 	var sr serve.Response
 	if err := json.Unmarshal(raw, &sr); err != nil {
-		agg.record(-2, latency, nil, idOK)
+		agg.record(-2, latency, nil, idOK, venue)
 		return
 	}
-	agg.record(http.StatusOK, latency, &sr, idOK && sr.RequestID == rid)
+	agg.record(http.StatusOK, latency, &sr, idOK && sr.RequestID == rid, venue)
 }
 
 // runClosed: workers issue requests back-to-back until the deadline (or the
@@ -408,7 +491,7 @@ func runClosed(client *http.Client, url string, bodies [][]byte, workers int, d 
 				if maxReqs > 0 && n > maxReqs {
 					return
 				}
-				post(client, url, bodies[int(n-1)%len(bodies)], agg)
+				post(client, url, bodies[int(n-1)%len(bodies)], "", agg)
 			}
 		}()
 	}
@@ -438,7 +521,44 @@ func runOpen(client *http.Client, url string, bodies [][]byte, rate float64, d t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			post(client, url, body, agg)
+			post(client, url, body, "", agg)
+		}()
+	}
+	wg.Wait()
+}
+
+// runSwarm: open-loop arrivals where each request's venue is drawn from a
+// Zipf popularity law over the manifest order (venue 0 hottest). The venue
+// sampler is seeded, so a given (-seed, -zipf-s, manifest) triple replays the
+// same churn pattern against the server's LRU venue cache.
+func runSwarm(client *http.Client, url string, venueIDs []string, venueBodies [][][]byte, s float64, seed int64, rate float64, d time.Duration, maxReqs int64, agg *aggregator) {
+	if rate <= 0 || len(venueIDs) == 0 {
+		return
+	}
+	if s <= 1 {
+		s = 1.001 // rand.NewZipf requires s > 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(venueIDs)-1))
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(d)
+	var issued int64
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		if maxReqs > 0 && issued >= maxReqs {
+			break
+		}
+		vi := int(zipf.Uint64())
+		id := venueIDs[vi]
+		body := venueBodies[vi][int(issued)%len(venueBodies[vi])]
+		issued++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(client, url, body, id, agg)
 		}()
 	}
 	wg.Wait()

@@ -9,6 +9,8 @@
 //	roaserve -addr 127.0.0.1:0 -addr-file /tmp/roaserve.addr   # scripts
 //	roaserve -addr :8092 -metrics-addr :8093 -trace spans.jsonl
 //	roaserve -addr :8092 -preset paper -warm -search coarse   # fast serving
+//	roaserve -addr :8092 -venues venues.json -shards 4        # multi-venue
+//	roaserve -addr :8090 -proxy -backends 127.0.0.1:8092,127.0.0.1:8093
 //
 // Endpoints:
 //
@@ -27,6 +29,14 @@
 // On SIGINT/SIGTERM the server drains: admission stops (503), every accepted
 // request completes (bounded by -drain-timeout, after which in-flight work
 // is cancelled), and a JSON drain report goes to stderr before exit.
+//
+// Multi-venue serving: -venues loads a venue manifest (see internal/venue)
+// and serves every venue from one process behind an LRU dictionary cache
+// bounded by -venue-budget-kb; requests carry a venueId and -shards splits
+// them across consistent-hashed dispatcher lanes. -proxy turns the process
+// into a thin router that forwards each request to the -backends member
+// owning its venue on the same hash ring, so a fleet of roaserve processes
+// agrees on placement without coordination.
 package main
 
 import (
@@ -40,12 +50,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"roarray/internal/core"
 	"roarray/internal/obs"
 	"roarray/internal/serve"
+	"roarray/internal/venue"
 )
 
 func main() {
@@ -86,8 +98,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	diagQueue := fs.Float64("diag-queue", 0.9, "admission-queue fill fraction that triggers a bundle")
 	diagGoroutines := fs.Int("diag-goroutines", 10000, "goroutine count that triggers a bundle")
 	diagGCPause := fs.Duration("diag-gc-pause", 250*time.Millisecond, "interval GC pause p99 that triggers a bundle")
+	venuesFile := fs.String("venues", "", "venue manifest (JSON); enables multi-venue serving with per-request venueId routing")
+	venueBudgetKB := fs.Int64("venue-budget-kb", 0, "venue cache budget in KiB for resident dictionaries/factorizations (0 = 256 MiB)")
+	shards := fs.Int("shards", 1, "in-process dispatcher lanes; venues are consistent-hashed across them")
+	proxyMode := fs.Bool("proxy", false, "run as a venue-routing proxy over -backends instead of serving locally")
+	backends := fs.String("backends", "", "comma-separated backend host:port list for -proxy mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *proxyMode {
+		return runProxy(stderr, stop, *addr, *addrFile, *backends, *metricsAddr, *drainTimeout)
 	}
 
 	ps, err := serve.LookupPreset(*preset)
@@ -103,23 +124,37 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		searchCfg = &core.SearchConfig{Mode: mode}
 	}
 	reg := obs.NewRegistry()
-	cfg := ps.Estimator
-	cfg.Metrics = reg
-	cfg.Warm = *warm
-	if searchCfg != nil {
-		cfg.Search = *searchCfg
-	}
-	est, err := core.NewEstimator(cfg)
-	if err != nil {
-		return fmt.Errorf("estimator: %w", err)
-	}
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	eng, err := core.NewEngine(est, w)
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
+	var eng *core.Engine
+	var venues *venue.Registry
+	if *venuesFile != "" {
+		man, err := venue.LoadManifest(*venuesFile)
+		if err != nil {
+			return err
+		}
+		venues = venue.NewRegistry(man, venue.RegistryConfig{
+			BudgetBytes: *venueBudgetKB * 1024,
+			Build:       venue.BuildConfig{Workers: w, Warm: *warm, Metrics: reg},
+			Metrics:     reg,
+		})
+	} else {
+		cfg := ps.Estimator
+		cfg.Metrics = reg
+		cfg.Warm = *warm
+		if searchCfg != nil {
+			cfg.Search = *searchCfg
+		}
+		est, err := core.NewEstimator(cfg)
+		if err != nil {
+			return fmt.Errorf("estimator: %w", err)
+		}
+		eng, err = core.NewEngine(est, w)
+		if err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
 	}
 
 	var tracer *obs.Tracer
@@ -182,6 +217,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 
 	srv, err := serve.New(serve.Config{
 		Engine:             eng,
+		Venues:             venues,
+		Shards:             *shards,
 		BatchSize:          *batchSize,
 		BatchLinger:        *batchLinger,
 		QueueDepth:         *queueDepth,
@@ -246,8 +283,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 			return fmt.Errorf("write addr file: %w", err)
 		}
 	}
-	fmt.Fprintf(stderr, "roaserve: preset %s, %d workers, batch <= %d within %v, queue %d, serving on http://%s\n",
-		ps.Name, w, *batchSize, *batchLinger, *queueDepth, bound)
+	if venues != nil {
+		fmt.Fprintf(stderr, "roaserve: %d venues (budget %d bytes, %d shards), %d workers, batch <= %d within %v, queue %d, serving on http://%s\n",
+			len(venues.IDs()), venues.Budget(), *shards, w, *batchSize, *batchLinger, *queueDepth, bound)
+	} else {
+		fmt.Fprintf(stderr, "roaserve: preset %s, %d workers, batch <= %d within %v, queue %d, serving on http://%s\n",
+			ps.Name, w, *batchSize, *batchLinger, *queueDepth, bound)
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
@@ -283,4 +325,57 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		return fmt.Errorf("drain forced after %v with work still in flight", *drainTimeout)
 	}
 	return nil
+}
+
+// runProxy serves the venue-routing proxy: no engine, no queues — just the
+// hash ring and an HTTP client per backend. Shutdown is a plain http.Server
+// drain since the proxy holds no request state of its own.
+func runProxy(stderr io.Writer, stop <-chan os.Signal, addr, addrFile, backends, metricsAddr string, drainTimeout time.Duration) error {
+	if backends == "" {
+		return fmt.Errorf("-proxy requires -backends host:port[,host:port...]")
+	}
+	var members []string
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			members = append(members, b)
+		}
+	}
+	reg := obs.NewRegistry()
+	p, err := serve.NewProxy(serve.ProxyConfig{Backends: members, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	if metricsAddr != "" {
+		dbg, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "roaserve: metrics on http://%s/metrics\n", dbg.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write addr file: %w", err)
+		}
+	}
+	fmt.Fprintf(stderr, "roaserve: proxy over %d backends, serving on http://%s\n", len(members), bound)
+
+	httpSrv := &http.Server{Handler: p}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-stop:
+		fmt.Fprintf(stderr, "roaserve: %v, shutting down proxy\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
 }

@@ -223,6 +223,8 @@ func render(w io.Writer, s *snapshot, label string) {
 		fmt.Fprintf(w, "  %-26s %.0f\n", row.label, v)
 	}
 
+	renderVenues(w, s)
+
 	names := make([]string, 0, len(s.hists))
 	for name := range s.hists {
 		names = append(names, name)
@@ -242,6 +244,51 @@ func render(w io.Writer, s *snapshot, label string) {
 	}
 
 	renderSLO(w, s)
+}
+
+// renderVenues prints one RED row per venue (multi-venue servers export
+// serve.venue.<id>.* — venue ids are restricted to [A-Za-z0-9_-], so
+// splitting on the fixed prefix and suffix is unambiguous) plus the venue
+// cache's hit/miss/eviction counters and residency gauges when present.
+func renderVenues(w io.Writer, s *snapshot) {
+	const prefix, suffix = "serve.venue.", ".requests_total"
+	var ids []string
+	for name := range s.scalars {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			ids = append(ids, name[len(prefix):len(name)-len(suffix)])
+		}
+	}
+	if len(ids) > 0 {
+		sort.Strings(ids)
+		fmt.Fprintln(w, "-- venues --")
+		fmt.Fprintf(w, "  %-20s %-9s %-9s %-8s %-10s %s\n",
+			"venue", "requests", "ok", "errors", "p50", "p95")
+		for _, id := range ids {
+			h := s.hists[prefix+id+".e2e.seconds"]
+			fmt.Fprintf(w, "  %-20s %-9.0f %-9.0f %-8.0f %-10s %s\n",
+				id,
+				s.scalars[prefix+id+suffix],
+				s.scalars[prefix+id+".ok_total"],
+				s.scalars[prefix+id+".errors_total"],
+				fmtVal(h.P50, true), fmtVal(h.P95, true))
+		}
+	}
+	if _, ok := s.scalars["venue.cache.loads_total"]; ok {
+		fmt.Fprintln(w, "-- venue cache --")
+		for _, row := range []struct{ metric, label string }{
+			{"venue.cache.hits_total", "hits"},
+			{"venue.cache.misses_total", "misses"},
+			{"venue.cache.evictions_total", "evictions"},
+			{"venue.cache.load_dedup_total", "deduped loads"},
+			{"venue.cache.load_errors_total", "load errors"},
+			{"venue.cache.resident", "resident venues"},
+			{"venue.cache.bytes", "resident bytes"},
+		} {
+			if v, ok := s.scalars[row.metric]; ok {
+				fmt.Fprintf(w, "  %-26s %.0f\n", row.label, v)
+			}
+		}
+	}
 }
 
 func renderSLO(w io.Writer, s *snapshot) {

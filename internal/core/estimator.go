@@ -254,6 +254,44 @@ const (
 // Config returns the effective (default-filled) configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 
+// Warmup eagerly builds both cached solvers (AoA and joint space-delay
+// dictionaries plus their factorizations). Normally they are built lazily on
+// the first estimate; a venue cache calls Warmup at load time instead, so the
+// whole dictionary cost is paid once inside the (deduplicated, metered) load
+// and never on a request's critical path.
+func (e *Estimator) Warmup() error {
+	if _, err := e.getAoASolver(); err != nil {
+		return fmt.Errorf("core: warmup AoA solver: %w", err)
+	}
+	if _, err := e.getJointSolver(); err != nil {
+		return fmt.Errorf("core: warmup joint solver: %w", err)
+	}
+	return nil
+}
+
+// FootprintBytes estimates the resident size of the estimator's heavy state:
+// the AoA dictionary (M x Ntheta), the joint space-delay dictionary
+// (M*L x Ntheta*Ntau), the ADMM Cholesky factors over both Gram shapes, and
+// — in warm mode — the Kronecker factor pair. Complex128 entries are 16
+// bytes. The joint dictionary term dominates at paper dimensions (90 x 3 x
+// 30 x 50 columns ~ 580 MB would be absurd; real venues run reduced grids),
+// which is exactly why a venue cache must budget on these bytes rather than
+// venue count.
+func (e *Estimator) FootprintBytes() int64 {
+	const c = 16 // bytes per complex128
+	m := int64(e.cfg.Array.NumAntennas)
+	l := int64(e.cfg.OFDM.NumSubcarriers)
+	nth := int64(len(e.cfg.ThetaGrid))
+	ntu := int64(len(e.cfg.TauGrid))
+	ml := m * l
+	b := m*nth*c + ml*nth*ntu*c // AoA + joint dictionaries
+	b += m*m*c + ml*ml*c        // ADMM Cholesky factors (rho I + A Aᴴ)
+	if e.cfg.Warm {
+		b += l*ntu*c + m*nth*c // Kronecker delay/AoA factor pair
+	}
+	return b
+}
+
 // BuildAoADictionary constructs the narrowband steering dictionary S~ of
 // paper Eq. 6: one column s(theta_i) per grid angle, size M x Ntheta.
 func BuildAoADictionary(arr wireless.Array, thetaGrid []float64) *cmat.Matrix {

@@ -31,6 +31,10 @@ type RequestEvent struct {
 	// Outcome classifies the terminal state: "ok", "rejected_queue_full",
 	// "rejected_draining", "bad_request", "deadline", "canceled", "error".
 	Outcome string `json:"outcome"`
+	// Venue is the venue ID that served the request (empty in single-venue
+	// mode). Optional, so the record stays schema 1: version-1 readers keep
+	// working on streams that carry it.
+	Venue string `json:"venue,omitempty"`
 	// Status is the HTTP status the client saw.
 	Status int `json:"status"`
 	// ErrorClass is a stable, low-cardinality failure label (the outcome

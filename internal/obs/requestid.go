@@ -78,3 +78,23 @@ func RequestIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(ridKey{}).(string)
 	return id
 }
+
+type venueKey struct{}
+
+// WithVenue returns a context carrying the venue ID the request is being
+// served for. Spans started under it stamp the venue into their events, the
+// same way the request ID rides along — so a trace stream interleaving many
+// venues can be sliced per building. An empty ID returns ctx unchanged
+// (single-venue mode stays attribute-free).
+func WithVenue(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, venueKey{}, id)
+}
+
+// VenueFrom returns the context's venue ID, or "" when none was set.
+func VenueFrom(ctx context.Context) string {
+	id, _ := ctx.Value(venueKey{}).(string)
+	return id
+}

@@ -24,6 +24,10 @@ type SpanEvent struct {
 	// when one was set — the join key between a trace stream, the wide-event
 	// request log, and histogram exemplars.
 	Req string `json:"req,omitempty"`
+	// Venue is the venue ID carried by the span's context (WithVenue) when
+	// one was set — empty in single-venue mode, so pre-venue trace readers
+	// see unchanged records.
+	Venue string `json:"venue,omitempty"`
 	// StartUnixNs is the span's wall-clock start (UnixNano).
 	StartUnixNs int64 `json:"startNs"`
 	// DurNs is the span's wall-time duration in nanoseconds.
@@ -105,6 +109,7 @@ type Span struct {
 	parent  uint64
 	name    string
 	req     string
+	venue   string
 	start   time.Time
 	ended   atomic.Bool
 }
@@ -120,6 +125,7 @@ func (s *Span) End() {
 		Parent:      s.parent,
 		Name:        s.name,
 		Req:         s.req,
+		Venue:       s.venue,
 		StartUnixNs: s.start.UnixNano(),
 		DurNs:       time.Since(s.start).Nanoseconds(),
 	})
@@ -157,7 +163,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	id := t.nextID.Add(1)
-	s := &Span{tracer: t, id: id, name: name, req: RequestIDFrom(ctx), start: time.Now()}
+	s := &Span{tracer: t, id: id, name: name, req: RequestIDFrom(ctx), venue: VenueFrom(ctx), start: time.Now()}
 	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
 		s.parent = parent.id
 		s.traceID = parent.traceID

@@ -11,6 +11,13 @@ import (
 // pending is one admitted request waiting for its batch to flush.
 type pending struct {
 	req *core.LocalizeRequest
+	// eng is the engine that will run the request (the venue's engine in
+	// multi-venue mode, the server default otherwise). The dispatcher groups
+	// a flush by engine so dictionary reuse only ever amortizes within one
+	// venue.
+	eng *core.Engine
+	// venue is the venue id the request resolved to ("" for single-venue).
+	venue string
 	// ctx is the fully merged per-request context: HTTP request context,
 	// effective deadline, and the server hard-stop.
 	ctx context.Context
@@ -31,23 +38,24 @@ type outcome struct {
 	dequeued time.Time
 }
 
-// dispatch is the single batching goroutine: it blocks for the first queued
+// dispatch is one lane's batching goroutine: it blocks for the first queued
 // request, collects more until the batch cap or the linger deadline, flushes
-// the batch through the engine, and repeats until the queue closes (Drain).
-func (s *Server) dispatch() {
-	defer close(s.dispatcherDone)
+// the batch through the engine(s), and repeats until the queue closes
+// (Drain). Each lane runs its own dispatcher, so a slow flush on one lane
+// never delays collection on another.
+func (s *Server) dispatch(queue chan *pending) {
 	for {
-		p, ok := <-s.queue
+		p, ok := <-queue
 		if !ok {
 			return
 		}
-		batch, closed := s.collect(p)
+		batch, closed := s.collect(queue, p)
 		s.flush(batch)
 		if closed {
 			// Drain closed the queue mid-collect; take whatever arrived
 			// before the close and exit after flushing it.
-			for q := range s.queue {
-				s.flush(s.collectClosed(q))
+			for q := range queue {
+				s.flush(s.collectClosed(queue, q))
 			}
 			return
 		}
@@ -57,7 +65,7 @@ func (s *Server) dispatch() {
 // collect grows a batch from first until it reaches the size cap, the linger
 // timer fires, or the queue closes (reported via closed so dispatch can wind
 // down).
-func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
+func (s *Server) collect(queue chan *pending, first *pending) (batch []*pending, closed bool) {
 	batch = append(batch, first)
 	if s.cfg.BatchSize == 1 {
 		return batch, false
@@ -66,7 +74,7 @@ func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 	defer linger.Stop()
 	for len(batch) < s.cfg.BatchSize {
 		select {
-		case p, ok := <-s.queue:
+		case p, ok := <-queue:
 			if !ok {
 				return batch, true
 			}
@@ -80,10 +88,10 @@ func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 
 // collectClosed drains the already-closed queue into one final batch,
 // starting from first, bounded only by the batch size cap.
-func (s *Server) collectClosed(first *pending) []*pending {
+func (s *Server) collectClosed(queue chan *pending, first *pending) []*pending {
 	batch := []*pending{first}
 	for len(batch) < s.cfg.BatchSize {
-		p, ok := <-s.queue
+		p, ok := <-queue
 		if !ok {
 			break
 		}
@@ -92,32 +100,56 @@ func (s *Server) collectClosed(first *pending) []*pending {
 	return batch
 }
 
-// flush runs one micro-batch through the engine and answers every member.
-// Members whose context already died cost almost nothing: the engine rejects
-// them at entry before any estimation work.
+// flush answers one collected batch. Requests are grouped by engine
+// (arrival order preserved within each group) and each group flushed
+// separately: a multi-venue lane can collect neighbors from different
+// venues, and a cross-venue flush would feed one venue's CSI to another's
+// dictionaries. With a single engine this is exactly the old single-flush
+// path — one group, same batch IDs, bit-identical results.
 func (s *Server) flush(batch []*pending) {
 	if len(batch) == 0 {
 		return
 	}
 	dequeued := time.Now()
+	if s.met != nil {
+		s.met.queueDepth.Set(float64(s.queuedTotal()))
+		for _, p := range batch {
+			s.met.queueWait.Observe(dequeued.Sub(p.enqueued).Seconds())
+		}
+	}
+	var groups [][]*pending
+	idx := make(map[*core.Engine]int, 1)
+	for _, p := range batch {
+		g, ok := idx[p.eng]
+		if !ok {
+			g = len(groups)
+			idx[p.eng] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], p)
+	}
+	for _, g := range groups {
+		s.flushGroup(g, dequeued)
+	}
+}
+
+// flushGroup runs one single-engine micro-batch and answers every member.
+// Members whose context already died cost almost nothing: the engine rejects
+// them at entry before any estimation work.
+func (s *Server) flushGroup(batch []*pending, dequeued time.Time) {
 	batchID := s.batches.Add(1)
 	s.batched.Add(int64(len(batch)))
 	if s.met != nil {
 		s.met.batches.Inc()
 		s.met.batchSize.Observe(float64(len(batch)))
-		s.met.queueDepth.Set(float64(len(s.queue)))
-		for _, p := range batch {
-			s.met.queueWait.Observe(dequeued.Sub(p.enqueued).Seconds())
-		}
 	}
-
 	reqs := make([]*core.LocalizeRequest, len(batch))
 	ctxs := make([]context.Context, len(batch))
 	for i, p := range batch {
 		reqs[i] = p.req
 		ctxs[i] = p.ctx
 	}
-	results, errs := s.localizeBatch(reqs, ctxs)
+	results, errs := s.localizeBatch(batch[0].eng, reqs, ctxs)
 	for i, p := range batch {
 		p.done <- outcome{res: results[i], err: errs[i], batchSize: len(batch), batchID: batchID, dequeued: dequeued}
 	}
@@ -126,7 +158,7 @@ func (s *Server) flush(batch []*pending) {
 // localizeBatch wraps the engine call so that a panic escaping the engine
 // itself (not one isolated per-request inside it) still answers the whole
 // batch instead of killing the dispatcher.
-func (s *Server) localizeBatch(reqs []*core.LocalizeRequest, ctxs []context.Context) (results []*core.LocalizeResult, errs []error) {
+func (s *Server) localizeBatch(eng *core.Engine, reqs []*core.LocalizeRequest, ctxs []context.Context) (results []*core.LocalizeResult, errs []error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.panics.Add(1)
@@ -140,5 +172,5 @@ func (s *Server) localizeBatch(reqs []*core.LocalizeRequest, ctxs []context.Cont
 			}
 		}
 	}()
-	return s.cfg.Engine.LocalizeBatchEachCtx(s.hardCtx, reqs, ctxs)
+	return eng.LocalizeBatchEachCtx(s.hardCtx, reqs, ctxs)
 }

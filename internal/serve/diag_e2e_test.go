@@ -124,9 +124,16 @@ func TestDiagBundleEndToEnd(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// Let several more evaluation ticks pass: the debounce must keep the
-	// sustained breach from writing a second bundle.
-	time.Sleep(100 * time.Millisecond)
+	// Let more evaluation ticks pass until at least one suppression lands:
+	// the debounce must keep the sustained breach from writing a second
+	// bundle. Polling (instead of a fixed sleep) keeps the assertion from
+	// racing the ticker on a loaded single-CPU runner.
+	for time.Now().Before(deadline) {
+		if _, suppressed, _ := trig.Stats(); suppressed > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	trig.Stop()
 
 	fired, suppressed, why := trig.Stats()

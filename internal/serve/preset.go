@@ -2,6 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"roarray/internal/core"
@@ -37,6 +40,25 @@ type Preset struct {
 	RetryAfterDraining time.Duration
 }
 
+// presetBuilders is the registry LookupPreset and PresetNames resolve from.
+// Builders (not values) because a Preset holds mutable slices; every lookup
+// gets a fresh instance.
+var presetBuilders = map[string]func() *Preset{
+	"paper": paperPreset,
+	"smoke": smokePreset,
+}
+
+// PresetNames returns every registered preset name, sorted — the source of
+// truth for flag help text and unknown-preset error messages.
+func PresetNames() []string {
+	names := make([]string, 0, len(presetBuilders))
+	for name := range presetBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // LookupPreset resolves a preset by name:
 //
 //   - "paper": the paper's working point — Intel 5300 radios (3 x 30 CSI),
@@ -45,50 +67,62 @@ type Preset struct {
 //   - "smoke": a cut-down configuration for latency/throughput exercises and
 //     CI — 8 subcarriers, 19 x 8 dictionary, 3 APs, 2-packet bursts. Solves
 //     complete in tens of milliseconds while running the full pipeline.
+//
+// An unknown name's error enumerates every registered preset, so the
+// message stays correct as presets land.
 func LookupPreset(name string) (*Preset, error) {
-	switch name {
-	case "paper":
-		return &Preset{
-			Name: "paper",
-			Estimator: core.Config{
-				Array: wireless.Intel5300Array(),
-				OFDM:  wireless.Intel5300OFDM(),
-			},
-			Deployment: testbed.Default(),
-			Packets:    15,
-			// Paper-faithful solves cost seconds of CPU each; the latency
-			// objective reflects that working point.
-			SLO: obs.SLOConfig{LatencyObjective: 10 * time.Second, Target: 0.99},
-			// A paper solve holds a worker for seconds; tell rejected
-			// clients to stay away long enough for a batch to clear.
-			RetryAfterFull:     5 * time.Second,
-			RetryAfterDraining: 10 * time.Second,
-		}, nil
-	case "smoke":
-		ofdm := wireless.OFDM{NumSubcarriers: 8, SubcarrierSpacing: 4e6}
-		dep := testbed.Default()
-		dep.OFDM = ofdm
-		dep.APs = dep.APs[:3]
-		return &Preset{
-			Name: "smoke",
-			Estimator: core.Config{
-				Array:         wireless.Intel5300Array(),
-				OFDM:          ofdm,
-				ThetaGrid:     spectra.UniformGrid(0, 180, 19),
-				TauGrid:       spectra.UniformGrid(0, ofdm.MaxToA(), 8),
-				SolverOptions: []sparse.Option{sparse.WithMaxIters(60)},
-			},
-			Deployment: dep,
-			Packets:    2,
-			// Smoke solves finish in tens of milliseconds; 99% under 250 ms
-			// is the CI-checkable objective.
-			SLO: obs.SLOConfig{LatencyObjective: 250 * time.Millisecond, Target: 0.99},
-			// Smoke solves clear in tens of milliseconds; the serve-layer
-			// defaults are already the right advice.
-			RetryAfterFull:     time.Second,
-			RetryAfterDraining: 5 * time.Second,
-		}, nil
-	default:
-		return nil, fmt.Errorf("serve: unknown preset %q (want \"paper\" or \"smoke\")", name)
+	build, ok := presetBuilders[name]
+	if !ok {
+		quoted := make([]string, 0, len(presetBuilders))
+		for _, n := range PresetNames() {
+			quoted = append(quoted, strconv.Quote(n))
+		}
+		return nil, fmt.Errorf("serve: unknown preset %q (want %s)", name, strings.Join(quoted, " or "))
+	}
+	return build(), nil
+}
+
+func paperPreset() *Preset {
+	return &Preset{
+		Name: "paper",
+		Estimator: core.Config{
+			Array: wireless.Intel5300Array(),
+			OFDM:  wireless.Intel5300OFDM(),
+		},
+		Deployment: testbed.Default(),
+		Packets:    15,
+		// Paper-faithful solves cost seconds of CPU each; the latency
+		// objective reflects that working point.
+		SLO: obs.SLOConfig{LatencyObjective: 10 * time.Second, Target: 0.99},
+		// A paper solve holds a worker for seconds; tell rejected
+		// clients to stay away long enough for a batch to clear.
+		RetryAfterFull:     5 * time.Second,
+		RetryAfterDraining: 10 * time.Second,
+	}
+}
+
+func smokePreset() *Preset {
+	ofdm := wireless.OFDM{NumSubcarriers: 8, SubcarrierSpacing: 4e6}
+	dep := testbed.Default()
+	dep.OFDM = ofdm
+	dep.APs = dep.APs[:3]
+	return &Preset{
+		Name: "smoke",
+		Estimator: core.Config{
+			Array:         wireless.Intel5300Array(),
+			OFDM:          ofdm,
+			ThetaGrid:     spectra.UniformGrid(0, 180, 19),
+			TauGrid:       spectra.UniformGrid(0, ofdm.MaxToA(), 8),
+			SolverOptions: []sparse.Option{sparse.WithMaxIters(60)},
+		},
+		Deployment: dep,
+		Packets:    2,
+		// Smoke solves finish in tens of milliseconds; 99% under 250 ms
+		// is the CI-checkable objective.
+		SLO: obs.SLOConfig{LatencyObjective: 250 * time.Millisecond, Target: 0.99},
+		// Smoke solves clear in tens of milliseconds; the serve-layer
+		// defaults are already the right advice.
+		RetryAfterFull:     time.Second,
+		RetryAfterDraining: 5 * time.Second,
 	}
 }

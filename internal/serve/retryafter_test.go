@@ -126,7 +126,7 @@ func TestRetryAfterHeader429QueueFull(t *testing.T) {
 	// Wedge the dispatcher behind a heavy solve, then occupy the queue's only
 	// slot, exactly as TestServeQueueFull429 does.
 	go post(mustMarshal(t, FromCore(serveTestRequests(t, 1, 96, 323)[0])))
-	await("wedge pickup", func() bool { return srv.Stats().Accepted == 1 && len(srv.queue) == 0 })
+	await("wedge pickup", func() bool { return srv.Stats().Accepted == 1 && srv.queuedTotal() == 0 })
 	go post(mustMarshal(t, FromCore(serveTestRequests(t, 1, 2, 324)[0])))
 	await("filler admission", func() bool { return srv.Stats().Accepted == 2 })
 

@@ -32,12 +32,26 @@ import (
 
 	"roarray/internal/core"
 	"roarray/internal/obs"
+	"roarray/internal/venue"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// Engine executes the localization work. Required.
+	// Engine executes the localization work for requests that carry no
+	// venueId. Required unless Venues is set; with both set, Engine is the
+	// default for venue-less requests.
 	Engine *core.Engine
+	// Venues, when non-nil, enables multi-venue serving: requests carrying a
+	// venueId resolve their engine through this registry (loading and
+	// caching the venue's dictionaries on first use). Unknown IDs answer
+	// 404; with no Engine configured, venue-less requests answer 400.
+	Venues *venue.Registry
+	// Shards splits admission and dispatch into N independent lanes, venues
+	// assigned by consistent hashing on venue id — one hot venue saturates
+	// its own lane's queue and dispatcher without wedging the others. <= 0
+	// selects 1 (the single-lane behavior of earlier versions, bit-identical
+	// for venue-less traffic).
+	Shards int
 	// BatchSize caps how many requests one flush may coalesce; <= 0 selects
 	// 8. 1 disables batching.
 	BatchSize int
@@ -103,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.RetryAfterFull <= 0 {
 		c.RetryAfterFull = time.Second
@@ -200,9 +217,16 @@ type Server struct {
 	cfg                  Config
 	antennas, subcarrier int
 
-	queue chan *pending
-	met   *metrics
-	mux   *http.ServeMux
+	// queues holds one admission queue per dispatcher lane; ring assigns
+	// venues to lanes (nil when Shards == 1, where lane 0 takes everything).
+	queues []chan *pending
+	ring   *Ring
+	met    *metrics
+	mux    *http.ServeMux
+
+	// venueMu guards the lazily-created per-venue metric handles.
+	venueMu  sync.Mutex
+	venueMet map[string]*venueMetrics
 
 	// admitMu guards the draining flag against the queue send: an admission
 	// holds the read side across its send so Drain's close(queue) (write
@@ -222,20 +246,37 @@ type Server struct {
 	panics             atomic.Int64
 }
 
-// New validates cfg, starts the dispatcher, and returns the server.
+// New validates cfg, starts the dispatcher lanes, and returns the server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("serve: config needs an engine")
+	if cfg.Engine == nil && cfg.Venues == nil {
+		return nil, fmt.Errorf("serve: config needs an engine or a venue registry")
 	}
 	cfg = cfg.withDefaults()
-	est := cfg.Engine.Estimator().Config()
 	s := &Server{
 		cfg:            cfg,
-		antennas:       est.Array.NumAntennas,
-		subcarrier:     est.OFDM.NumSubcarriers,
-		queue:          make(chan *pending, cfg.QueueDepth),
 		met:            newMetrics(cfg.Metrics),
+		venueMet:       make(map[string]*venueMetrics),
 		dispatcherDone: make(chan struct{}),
+	}
+	if cfg.Engine != nil {
+		est := cfg.Engine.Estimator().Config()
+		s.antennas = est.Array.NumAntennas
+		s.subcarrier = est.OFDM.NumSubcarriers
+	}
+	s.queues = make([]chan *pending, cfg.Shards)
+	for i := range s.queues {
+		s.queues[i] = make(chan *pending, cfg.QueueDepth)
+	}
+	if cfg.Shards > 1 {
+		lanes := make([]string, cfg.Shards)
+		for i := range lanes {
+			lanes[i] = fmt.Sprintf("shard-%d", i)
+		}
+		ring, err := NewRing(lanes, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
 	}
 	base := context.Background()
 	if cfg.Tracer != nil {
@@ -246,7 +287,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/localize", s.handleLocalize)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	go s.dispatch()
+	var lanes sync.WaitGroup
+	for i := range s.queues {
+		lanes.Add(1)
+		q := s.queues[i]
+		go func() {
+			defer lanes.Done()
+			s.dispatch(q)
+		}()
+	}
+	go func() {
+		lanes.Wait()
+		close(s.dispatcherDone)
+	}()
 	return s, nil
 }
 
@@ -302,7 +355,9 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 	preCompleted := s.completed.Load()
 	if !already {
 		rep.Pending = s.accepted.Load() - s.finished.Load()
-		close(s.queue)
+		for _, q := range s.queues {
+			close(q)
+		}
 	}
 
 	select {
@@ -360,12 +415,14 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 
 	// badRequest answers a client error and records it in the request log.
 	// Client errors are not observed by the SLO: they spend the client's
-	// error budget, not the server's.
+	// error budget, not the server's. venueID is captured by reference so
+	// failures after venue resolution are still attributed.
+	venueID := ""
 	badRequest := func(status int, class, msg string) {
 		writeError(w, status, msg)
 		s.event(obs.RequestEvent{
 			ID: rid, Outcome: "bad_request", Status: status,
-			ErrorClass: class, Error: msg,
+			ErrorClass: class, Error: msg, Venue: venueID,
 		})
 	}
 
@@ -388,10 +445,45 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Search != nil {
 		creq.Search = s.cfg.Search
 	}
-	if m, l := wreq.Dims(); m != s.antennas || l != s.subcarrier {
+
+	// Venue resolution: a venueId routes through the registry (loading the
+	// venue's dictionaries on first touch); venue-less requests use the
+	// configured default engine. Dimensions are checked against whichever
+	// engine will actually run the request.
+	eng := s.cfg.Engine
+	antennas, subcarriers := s.antennas, s.subcarrier
+	if wreq.VenueID != "" {
+		venueID = wreq.VenueID
+		if s.cfg.Venues == nil {
+			badRequest(http.StatusBadRequest, "venue", fmt.Sprintf(
+				"venueId %q: server is single-venue (no venue registry configured)", venueID))
+			return
+		}
+		v, err := s.cfg.Venues.Get(r.Context(), venueID)
+		if err != nil {
+			if errors.Is(err, venue.ErrUnknownVenue) {
+				badRequest(http.StatusNotFound, "venue_unknown", err.Error())
+				return
+			}
+			writeError(w, http.StatusInternalServerError, err.Error())
+			s.event(obs.RequestEvent{
+				ID: rid, Outcome: "error", Status: http.StatusInternalServerError,
+				ErrorClass: "venue_load", Error: err.Error(), Venue: venueID,
+			})
+			return
+		}
+		eng = v.Engine
+		ecfg := eng.Estimator().Config()
+		antennas, subcarriers = ecfg.Array.NumAntennas, ecfg.OFDM.NumSubcarriers
+	} else if eng == nil {
+		badRequest(http.StatusBadRequest, "venue",
+			"venueId required: server has no default engine")
+		return
+	}
+	if m, l := wreq.Dims(); m != antennas || l != subcarriers {
 		badRequest(http.StatusBadRequest, "dimension", fmt.Sprintf(
 			"CSI is %dx%d (antennas x subcarriers), server is configured for %dx%d",
-			m, l, s.antennas, s.subcarrier))
+			m, l, antennas, subcarriers))
 		return
 	}
 
@@ -401,6 +493,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	// drain aborts the slot mid-flush. The request ID rides the context so
 	// every span and every latency exemplar downstream carries it.
 	rctx := obs.WithRequestID(r.Context(), rid)
+	rctx = obs.WithVenue(rctx, venueID)
 	if s.cfg.Tracer != nil {
 		rctx = obs.WithTracer(rctx, s.cfg.Tracer)
 	}
@@ -428,7 +521,15 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Disturb(pctx)
 	}
 
-	p := &pending{req: creq, ctx: pctx, done: make(chan outcome, 1), enqueued: t0}
+	p := &pending{req: creq, eng: eng, venue: venueID, ctx: pctx, done: make(chan outcome, 1), enqueued: t0}
+
+	// Lane selection: consistent hashing on venue id, so one venue's traffic
+	// always shares a lane (and its micro-batches), while a hot venue can
+	// only fill its own lane's queue. Single-lane servers skip the ring.
+	queue := s.queues[0]
+	if s.ring != nil {
+		queue = s.queues[s.ring.OwnerIndex(venueID)]
+	}
 
 	// Admission: the read lock pins the draining flag across the queue send
 	// so Drain cannot close the channel mid-send.
@@ -444,12 +545,12 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		s.cfg.SLO.Observe(false, time.Since(t0))
 		s.event(obs.RequestEvent{
 			ID: rid, Outcome: "rejected_draining", Status: http.StatusServiceUnavailable,
-			DeadlineMillis: deadlineMs,
+			DeadlineMillis: deadlineMs, Venue: venueID,
 		})
 		return
 	}
 	select {
-	case s.queue <- p:
+	case queue <- p:
 		s.admitMu.RUnlock()
 	default:
 		s.admitMu.RUnlock()
@@ -462,14 +563,14 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		s.cfg.SLO.Observe(false, time.Since(t0))
 		s.event(obs.RequestEvent{
 			ID: rid, Outcome: "rejected_queue_full", Status: http.StatusTooManyRequests,
-			DeadlineMillis: deadlineMs,
+			DeadlineMillis: deadlineMs, Venue: venueID,
 		})
 		return
 	}
 	s.accepted.Add(1)
 	if s.met != nil {
 		s.met.accepted.Inc()
-		s.met.queueDepth.Set(float64(len(s.queue)))
+		s.met.queueDepth.Set(float64(s.queuedTotal()))
 	}
 
 	// The dispatcher always answers every accepted request — on flush, on
@@ -489,6 +590,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	}
 	ev := obs.RequestEvent{
 		ID:             rid,
+		Venue:          venueID,
 		QueueMillis:    queueMs,
 		TotalMillis:    elapsed.Seconds() * 1e3,
 		DeadlineMillis: deadlineMs,
@@ -566,9 +668,10 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	s.event(ev)
 }
 
-// event stamps one wide-event record and fans it out to the event log and
-// the flight recorder; with neither configured it is a nil-check no-op.
+// event stamps one wide-event record, folds it into the per-venue RED
+// metrics, and fans it out to the event log and the flight recorder.
 func (s *Server) event(ev obs.RequestEvent) {
+	s.recordVenue(ev)
 	if s.cfg.Events == nil && s.cfg.Recorder == nil {
 		return
 	}
@@ -577,10 +680,74 @@ func (s *Server) event(ev obs.RequestEvent) {
 	s.cfg.Events.Log(ev)
 }
 
-// QueueFill reports the admission queue's current fill fraction (0..1) —
-// the saturation signal the diagnostic trigger engine watches.
+// venueMetrics is one venue's RED row: request/ok/error counters plus the
+// end-to-end latency histogram (serve.venue.<id>.*).
+type venueMetrics struct {
+	requests *obs.Counter
+	ok       *obs.Counter
+	errs     *obs.Counter
+	e2e      *obs.Histogram
+}
+
+// venueMetricsFor lazily resolves (and caches) the metric handles for one
+// venue. Venue IDs are validated to a small safe alphabet at manifest load,
+// so embedding them in metric names cannot collide with the fixed schema.
+func (s *Server) venueMetricsFor(id string) *venueMetrics {
+	s.venueMu.Lock()
+	defer s.venueMu.Unlock()
+	vm := s.venueMet[id]
+	if vm == nil {
+		reg := s.cfg.Metrics
+		vm = &venueMetrics{
+			requests: reg.Counter("serve.venue." + id + ".requests_total"),
+			ok:       reg.Counter("serve.venue." + id + ".ok_total"),
+			errs:     reg.Counter("serve.venue." + id + ".errors_total"),
+			e2e:      reg.Histogram("serve.venue."+id+".e2e.seconds", obs.ExpBuckets(0.001, 2, 16)...),
+		}
+		s.venueMet[id] = vm
+	}
+	return vm
+}
+
+// recordVenue attributes one terminal outcome to its venue's RED metrics
+// (no-op for venue-less requests or metric-less servers).
+func (s *Server) recordVenue(ev obs.RequestEvent) {
+	if ev.Venue == "" || s.cfg.Metrics == nil {
+		return
+	}
+	vm := s.venueMetricsFor(ev.Venue)
+	vm.requests.Inc()
+	if ev.Status == http.StatusOK {
+		vm.ok.Inc()
+	} else {
+		vm.errs.Inc()
+	}
+	if ev.TotalMillis > 0 {
+		vm.e2e.Observe(ev.TotalMillis / 1e3)
+	}
+}
+
+// queuedTotal sums the current depth across every lane.
+func (s *Server) queuedTotal() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// QueueFill reports the fullest lane's fill fraction (0..1) — the
+// saturation signal the diagnostic trigger engine watches. The max (not the
+// mean) is the operative signal: a request for a venue on a full lane is
+// rejected no matter how idle the other lanes are.
 func (s *Server) QueueFill() float64 {
-	return float64(len(s.queue)) / float64(cap(s.queue))
+	worst := 0.0
+	for _, q := range s.queues {
+		if f := float64(len(q)) / float64(cap(q)); f > worst {
+			worst = f
+		}
+	}
+	return worst
 }
 
 // retryAfter renders the Retry-After advice for a rejection: the configured

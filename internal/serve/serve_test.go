@@ -421,7 +421,7 @@ func TestServeQueueFull429(t *testing.T) {
 		statuses <- resp.StatusCode
 	}
 	go post(wedgeBody)
-	await("wedge pickup", func() bool { return srv.Stats().Accepted == 1 && len(srv.queue) == 0 })
+	await("wedge pickup", func() bool { return srv.Stats().Accepted == 1 && srv.queuedTotal() == 0 })
 
 	// Filler: occupies the queue's only slot.
 	fillerBody := mustMarshal(t, FromCore(serveTestRequests(t, 1, 2, 322)[0]))

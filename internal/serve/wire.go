@@ -15,6 +15,11 @@ import (
 // robot) ships the CSI its NIC measured and the server runs the whole
 // sparse-recovery pipeline.
 type Request struct {
+	// VenueID names the venue (building) this request belongs to, resolving
+	// the AP geometry and dictionaries server-side via the venue registry.
+	// Empty selects the server's default engine (single-venue mode); on a
+	// multi-venue server an unknown id answers 404.
+	VenueID string `json:"venueId,omitempty"`
 	// Links carries one entry per AP; at least two are required.
 	Links []Link `json:"links"`
 	// Room is the position search region in meters.
