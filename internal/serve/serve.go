@@ -59,8 +59,11 @@ type Config struct {
 	// the first request arrives; <= 0 selects 2 ms. A lone request therefore
 	// costs at most one linger of added latency.
 	BatchLinger time.Duration
-	// QueueDepth bounds the admission queue; <= 0 selects 64. A full queue
-	// rejects with 429 + Retry-After instead of queueing unboundedly.
+	// QueueDepth bounds each dispatch lane's admission queue; <= 0 selects
+	// 64. The depth is per lane, so total admission capacity (and the
+	// worst-case queued memory) is Shards * QueueDepth — size it per lane
+	// when raising Shards. A full lane rejects with 429 + Retry-After
+	// instead of queueing unboundedly, however idle the other lanes are.
 	QueueDepth int
 	// RequestTimeout caps the server-side budget (queue + solve) of every
 	// request; 0 means no cap. A request's own deadlineMillis tightens but
@@ -415,8 +418,9 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 
 	// badRequest answers a client error and records it in the request log.
 	// Client errors are not observed by the SLO: they spend the client's
-	// error budget, not the server's. venueID is captured by reference so
-	// failures after venue resolution are still attributed.
+	// error budget, not the server's. venueID is captured by reference and
+	// stays empty until the id is known to the manifest, so per-venue
+	// attribution never interns a client-invented id (see recordVenue).
 	venueID := ""
 	badRequest := func(status int, class, msg string) {
 		writeError(w, status, msg)
@@ -446,32 +450,72 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		creq.Search = s.cfg.Search
 	}
 
+	t0 := time.Now()
+	// Per-request context and budget, derived BEFORE venue resolution: the
+	// HTTP context (client disconnect) tightened by the effective deadline,
+	// so a cold venue load (waiting on a dictionary build) spends the
+	// request's own budget and fails with 504 instead of letting handler
+	// goroutines pile up behind a stuck build. The request ID rides the
+	// context so every span and every latency exemplar downstream carries
+	// it.
+	rctx := obs.WithRequestID(r.Context(), rid)
+	if s.cfg.Tracer != nil {
+		rctx = obs.WithTracer(rctx, s.cfg.Tracer)
+	}
+	timeout := s.cfg.RequestTimeout
+	if d := wreq.Deadline(); d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, timeout)
+		defer cancel()
+	}
+	deadlineMs := float64(timeout) / float64(time.Millisecond)
+
 	// Venue resolution: a venueId routes through the registry (loading the
-	// venue's dictionaries on first touch); venue-less requests use the
-	// configured default engine. Dimensions are checked against whichever
-	// engine will actually run the request.
+	// venue's dictionaries on first touch, bounded by the deadline above);
+	// venue-less requests use the configured default engine. Dimensions are
+	// checked against whichever engine will actually run the request.
 	eng := s.cfg.Engine
 	antennas, subcarriers := s.antennas, s.subcarrier
 	if wreq.VenueID != "" {
-		venueID = wreq.VenueID
 		if s.cfg.Venues == nil {
 			badRequest(http.StatusBadRequest, "venue", fmt.Sprintf(
-				"venueId %q: server is single-venue (no venue registry configured)", venueID))
+				"venueId %q: server is single-venue (no venue registry configured)", wreq.VenueID))
 			return
 		}
-		v, err := s.cfg.Venues.Get(r.Context(), venueID)
+		v, err := s.cfg.Venues.Get(rctx, wreq.VenueID)
 		if err != nil {
 			if errors.Is(err, venue.ErrUnknownVenue) {
+				// venueID stays empty: a client-invented id must never reach
+				// the per-venue metric namespace (each unique bogus id would
+				// permanently allocate metric handles — unauthenticated
+				// unbounded growth). The id still reaches the event log
+				// inside the error message.
 				badRequest(http.StatusNotFound, "venue_unknown", err.Error())
 				return
 			}
-			writeError(w, http.StatusInternalServerError, err.Error())
+			// Any other failure names a manifest venue (Get validates the id
+			// before building), so per-venue attribution is safe here.
+			venueID = wreq.VenueID
+			status, outcome := http.StatusInternalServerError, "error"
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				status, outcome = http.StatusGatewayTimeout, "deadline"
+			case errors.Is(err, context.Canceled):
+				status, outcome = http.StatusServiceUnavailable, "canceled"
+			}
+			writeError(w, status, err.Error())
+			s.cfg.SLO.Observe(false, time.Since(t0))
 			s.event(obs.RequestEvent{
-				ID: rid, Outcome: "error", Status: http.StatusInternalServerError,
+				ID: rid, Outcome: outcome, Status: status,
 				ErrorClass: "venue_load", Error: err.Error(), Venue: venueID,
+				DeadlineMillis: deadlineMs, TotalMillis: time.Since(t0).Seconds() * 1e3,
 			})
 			return
 		}
+		venueID = wreq.VenueID
 		eng = v.Engine
 		ecfg := eng.Estimator().Config()
 		antennas, subcarriers = ecfg.Array.NumAntennas, ecfg.OFDM.NumSubcarriers
@@ -487,31 +531,11 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	t0 := time.Now()
-	// Per-request context: the HTTP context (client disconnect), tightened
-	// by the effective deadline, and wired to the hard-stop so a forced
-	// drain aborts the slot mid-flush. The request ID rides the context so
-	// every span and every latency exemplar downstream carries it.
-	rctx := obs.WithRequestID(r.Context(), rid)
 	rctx = obs.WithVenue(rctx, venueID)
-	if s.cfg.Tracer != nil {
-		rctx = obs.WithTracer(rctx, s.cfg.Tracer)
-	}
-	timeout := s.cfg.RequestTimeout
-	if d := wreq.Deadline(); d > 0 && (timeout == 0 || d < timeout) {
-		timeout = d
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		rctx, cancel = context.WithTimeout(rctx, timeout)
-		defer cancel()
-	}
 	pctx, pcancel := context.WithCancel(rctx)
 	defer pcancel()
 	stop := context.AfterFunc(s.hardCtx, pcancel)
 	defer stop()
-
-	deadlineMs := float64(timeout) / float64(time.Millisecond)
 
 	// Fault-injection hook: disturb the request on its own goroutine before
 	// it competes for a queue slot. A stuck disturbance releases when the
@@ -521,7 +545,11 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Disturb(pctx)
 	}
 
-	p := &pending{req: creq, eng: eng, venue: venueID, ctx: pctx, done: make(chan outcome, 1), enqueued: t0}
+	// The admission timestamp is distinct from t0: t0 anchors end-to-end
+	// latency (and now includes any cold venue load), while enq anchors the
+	// queue-wait measurement so a slow load does not masquerade as queueing.
+	enq := time.Now()
+	p := &pending{req: creq, eng: eng, venue: venueID, ctx: pctx, done: make(chan outcome, 1), enqueued: enq}
 
 	// Lane selection: consistent hashing on venue id, so one venue's traffic
 	// always shares a lane (and its micro-batches), while a hot venue can
@@ -584,7 +612,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		// latency bucket.
 		s.met.e2e.ObserveExemplar(elapsed.Seconds(), rid)
 	}
-	queueMs := out.dequeued.Sub(t0).Seconds() * 1e3
+	queueMs := out.dequeued.Sub(enq).Seconds() * 1e3
 	if out.dequeued.IsZero() {
 		queueMs = 0
 	}
@@ -690,8 +718,10 @@ type venueMetrics struct {
 }
 
 // venueMetricsFor lazily resolves (and caches) the metric handles for one
-// venue. Venue IDs are validated to a small safe alphabet at manifest load,
-// so embedding them in metric names cannot collide with the fixed schema.
+// venue. Only ids that resolved through the registry reach here (see
+// handleLocalize), and recordVenue re-checks the manifest alphabet, so
+// embedding them in metric names cannot collide with the fixed schema or
+// grow without bound under client-invented ids.
 func (s *Server) venueMetricsFor(id string) *venueMetrics {
 	s.venueMu.Lock()
 	defer s.venueMu.Unlock()
@@ -710,9 +740,12 @@ func (s *Server) venueMetricsFor(id string) *venueMetrics {
 }
 
 // recordVenue attributes one terminal outcome to its venue's RED metrics
-// (no-op for venue-less requests or metric-less servers).
+// (no-op for venue-less requests or metric-less servers). The alphabet gate
+// is defense in depth: metric handles live forever, so only ids obeying the
+// manifest contract ([A-Za-z0-9_-], the alphabet roastat's parser assumes)
+// may mint them, whatever path produced the event.
 func (s *Server) recordVenue(ev obs.RequestEvent) {
-	if ev.Venue == "" || s.cfg.Metrics == nil {
+	if ev.Venue == "" || s.cfg.Metrics == nil || !venue.ValidID(ev.Venue) {
 		return
 	}
 	vm := s.venueMetricsFor(ev.Venue)

@@ -108,12 +108,19 @@ func TestVenueRoutingAndEvents(t *testing.T) {
 	}
 
 	// Unknown venue: 404, not 500 — the client named a thing that does not
-	// exist, the server did not fail.
+	// exist, the server did not fail. The second id carries bytes outside
+	// the manifest alphabet: neither may mint per-venue metric handles (a
+	// client-invented id per request would grow the registry without bound
+	// and dotted ids would break roastat's metric-name parsing).
 	wreq := FromCore(reqs[0])
-	wreq.VenueID = "ghost"
-	status, body := postLocalize(t, ts.Client(), ts.URL, wreq)
-	if status != http.StatusNotFound {
-		t.Fatalf("unknown venue: status %d: %s", status, body)
+	var status int
+	var body []byte
+	for _, bogus := range []string{"ghost", "e.vil id"} {
+		wreq.VenueID = bogus
+		status, body = postLocalize(t, ts.Client(), ts.URL, wreq)
+		if status != http.StatusNotFound {
+			t.Fatalf("unknown venue %q: status %d: %s", bogus, status, body)
+		}
 	}
 
 	// No default engine: venue-less requests cannot be served.
@@ -130,11 +137,21 @@ func TestVenueRoutingAndEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	byVenue := make(map[string]int)
+	unknownEvents := 0
 	for _, ev := range evs {
 		byVenue[ev.Venue]++
+		if ev.ErrorClass == "venue_unknown" {
+			unknownEvents++
+			if ev.Venue != "" {
+				t.Fatalf("unknown-venue event attributed to venue %q", ev.Venue)
+			}
+			if !strings.Contains(ev.Error, "ghost") && !strings.Contains(ev.Error, "e.vil id") {
+				t.Fatalf("unknown-venue event lost the offending id: %q", ev.Error)
+			}
+		}
 	}
-	if byVenue["hq"] != 1 || byVenue["lab"] != 1 || byVenue["ghost"] != 1 {
-		t.Fatalf("event venue attribution %v", byVenue)
+	if byVenue["hq"] != 1 || byVenue["lab"] != 1 || unknownEvents != 2 {
+		t.Fatalf("event venue attribution %v (unknown events %d)", byVenue, unknownEvents)
 	}
 
 	snap := reg.Snapshot()
@@ -150,8 +167,12 @@ func TestVenueRoutingAndEvents(t *testing.T) {
 	if got, _ := snap["venue.cache.misses_total"].(int64); got != 2 {
 		t.Fatalf("venue.cache.misses_total = %v, want 2 cold loads", snap["venue.cache.misses_total"])
 	}
-	if got, _ := snap["serve.venue.ghost.errors_total"].(int64); got != 1 {
-		t.Fatalf("unknown-venue rejection not attributed: %v", snap["serve.venue.ghost.errors_total"])
+	// Client-invented ids must never reach the metric namespace.
+	for name := range snap {
+		if strings.HasPrefix(name, "serve.venue.") &&
+			!strings.HasPrefix(name, "serve.venue.hq.") && !strings.HasPrefix(name, "serve.venue.lab.") {
+			t.Fatalf("bogus venue id minted metric %q", name)
+		}
 	}
 }
 
@@ -173,6 +194,49 @@ func TestVenueIDOnSingleVenueServer(t *testing.T) {
 	if status != http.StatusBadRequest || !strings.Contains(string(body), "single-venue") {
 		t.Fatalf("status %d: %s", status, body)
 	}
+}
+
+// TestColdVenueLoadSpendsRequestBudget pins the backpressure contract for
+// cold venues: a request that lands on a venue whose dictionary build is
+// stuck spends its own RequestTimeout waiting and answers 504 — handler
+// goroutines must not pile up indefinitely behind a wedged load.
+func TestColdVenueLoadSpendsRequestBudget(t *testing.T) {
+	release := make(chan struct{})
+	venues := venue.NewRegistry(serveTestManifest("hq"), venue.RegistryConfig{
+		Build: venue.BuildConfig{Disturb: func() { <-release }},
+	})
+	srv, err := New(Config{Venues: venues, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The tight budget rides the request (deadlineMillis), so the follow-up
+	// request below keeps the server's unbounded default.
+	wreq := FromCore(serveTestRequests(t, 1, 2, 914)[0])
+	wreq.VenueID = "hq"
+	wreq.DeadlineMillis = 50
+	start := time.Now()
+	status, body := postLocalize(t, ts.Client(), ts.URL, wreq)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stuck cold load: status %d: %s", status, body)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("504 took %v, want roughly the 50ms request budget", waited)
+	}
+
+	// Release the build; the venue must finish loading and serve.
+	close(release)
+	if !venues.WaitIdle(10 * time.Second) {
+		t.Fatal("venue build never completed after release")
+	}
+	wreq.DeadlineMillis = 0
+	status, body = postLocalize(t, ts.Client(), ts.URL, wreq)
+	if status != http.StatusOK {
+		t.Fatalf("after build completed: status %d: %s", status, body)
+	}
+	srv.Drain(context.Background())
 }
 
 // TestVenueSpanAttribution checks the trace stream carries the venue id on

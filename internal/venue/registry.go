@@ -165,10 +165,12 @@ func (r *Registry) Stats() Stats {
 
 // Get resolves a venue ID: a resident venue is returned immediately (and
 // marked hottest); an unknown ID fails with ErrUnknownVenue; a cold venue is
-// built — by exactly one caller, with every concurrent caller waiting on the
-// same load — then installed, evicting coldest venues until the budget
-// holds. ctx bounds only the wait, not the build: a load already underway
-// completes for the next caller even when this one gives up.
+// built — once, on a detached goroutine, with every concurrent caller
+// waiting on the same load — then installed, evicting coldest venues until
+// the budget holds. ctx bounds only this caller's wait, never the build: a
+// load already underway completes for the next caller even when every
+// current waiter gives up, and a caller arriving with a tight deadline
+// fails fast with ctx.Err() instead of riding out a slow build.
 func (r *Registry) Get(ctx context.Context, id string) (*Venue, error) {
 	spec, ok := r.specs[id]
 	if !ok {
@@ -185,29 +187,39 @@ func (r *Registry) Get(ctx context.Context, id string) (*Venue, error) {
 		}
 		return el.Value.(*residentVenue).v, nil
 	}
-	if fl, ok := r.loading[id]; ok {
+	fl, underway := r.loading[id]
+	if !underway {
+		fl = &inflight{done: make(chan struct{})}
+		r.loading[id] = fl
+	}
+	r.mu.Unlock()
+
+	if underway {
 		// A load is already underway — wait for its result instead of
 		// building the same dictionaries again (the thundering-herd path).
-		r.mu.Unlock()
 		r.dedups.Add(1)
 		if r.met != nil {
 			r.met.dedups.Inc()
 		}
-		select {
-		case <-fl.done:
-			return fl.v, fl.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	} else {
+		r.misses.Add(1)
+		if r.met != nil {
+			r.met.misses.Inc()
 		}
+		go r.build(spec, fl)
 	}
-	fl := &inflight{done: make(chan struct{})}
-	r.loading[id] = fl
-	r.mu.Unlock()
+	select {
+	case <-fl.done:
+		return fl.v, fl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
 
-	r.misses.Add(1)
-	if r.met != nil {
-		r.met.misses.Inc()
-	}
+// build runs one venue load to completion and installs the result; it is
+// deliberately detached from any request context so an abandoned wait never
+// wastes the dictionaries it already paid for.
+func (r *Registry) build(spec Spec, fl *inflight) {
 	v, err := Build(spec, r.bcfg)
 	if r.met != nil {
 		r.met.loads.Inc()
@@ -219,10 +231,10 @@ func (r *Registry) Get(ctx context.Context, id string) (*Venue, error) {
 	}
 
 	r.mu.Lock()
-	delete(r.loading, id)
+	delete(r.loading, spec.ID)
 	if err == nil {
-		el := r.lru.PushFront(&residentVenue{id: id, v: v})
-		r.cached[id] = el
+		el := r.lru.PushFront(&residentVenue{id: spec.ID, v: v})
+		r.cached[spec.ID] = el
 		r.resBytes += v.Bytes
 		r.evictLocked()
 		r.publishLocked()
@@ -231,7 +243,6 @@ func (r *Registry) Get(ctx context.Context, id string) (*Venue, error) {
 
 	fl.v, fl.err = v, err
 	close(fl.done)
-	return v, err
 }
 
 // evictLocked drops coldest venues until the budget holds, always keeping at
@@ -260,8 +271,12 @@ func (r *Registry) publishLocked() {
 }
 
 // Invalidate drops a venue from the cache if resident (a no-op otherwise),
-// forcing the next Get to rebuild it. Used by tests to prove rebuild
-// determinism and by ops to pick up recalibrated specs.
+// forcing the next Get to rebuild it from the same manifest spec — specs
+// are fixed at NewRegistry and there is no hot spec-reload path, so this
+// changes when the dictionaries are built, never what they contain (the
+// rebuild-determinism gate in the tests relies on exactly that). The
+// removal counts toward the eviction telemetry so the resident gauges and
+// the evictions counter stay reconcilable.
 func (r *Registry) Invalidate(id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -273,6 +288,10 @@ func (r *Registry) Invalidate(id string) {
 	r.lru.Remove(el)
 	delete(r.cached, id)
 	r.resBytes -= rv.v.Bytes
+	r.evictions.Add(1)
+	if r.met != nil {
+		r.met.evictions.Inc()
+	}
 	r.publishLocked()
 }
 

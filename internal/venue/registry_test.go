@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"roarray/internal/core"
 	"roarray/internal/obs"
@@ -25,6 +26,33 @@ func TestRegistryUnknownVenue(t *testing.T) {
 	_, err := r.Get(context.Background(), "nope")
 	if !errors.Is(err, ErrUnknownVenue) {
 		t.Fatalf("want ErrUnknownVenue, got %v", err)
+	}
+}
+
+// TestRegistryColdLoadHonorsContext pins the deadline contract of Get: a
+// caller whose context expires mid-build fails with ctx.Err() promptly —
+// even the caller that triggered the build — while the build itself runs to
+// completion on its detached goroutine and serves the next caller.
+func TestRegistryColdLoadHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	r := NewRegistry(testManifest("hq"), RegistryConfig{
+		Build: BuildConfig{Disturb: func() { <-release }},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := r.Get(ctx, "hq"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stuck cold load returned %v, want context.DeadlineExceeded", err)
+	}
+	close(release)
+	if !r.WaitIdle(5 * time.Second) {
+		t.Fatal("abandoned build never finished")
+	}
+	v, err := r.Get(context.Background(), "hq")
+	if err != nil || v == nil {
+		t.Fatalf("build abandoned by its waiter was lost: %v", err)
+	}
+	if st := r.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (second Get must hit the installed venue)", st.Misses)
 	}
 }
 

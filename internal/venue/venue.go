@@ -34,6 +34,12 @@ const ManifestSchema = 1
 // fields, and hash-ring keys, so dots and whitespace are out.
 var idPattern = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
 
+// ValidID reports whether id satisfies the venue-id alphabet above. Code
+// that embeds ids into dot-delimited metric names (serve's per-venue RED
+// rows) gates on it so an id from an unvalidated source can never pollute
+// the metric namespace.
+func ValidID(id string) bool { return idPattern.MatchString(id) }
+
 // APSpec places one access point in a venue's floor plan.
 type APSpec struct {
 	// X, Y is the array center in meters (venue frame).
@@ -247,6 +253,12 @@ type BuildConfig struct {
 	Fallback bool
 	// Metrics, when non-nil, receives the estimator's telemetry.
 	Metrics *obs.Registry
+	// Disturb, when non-nil, is called at the start of every build, after
+	// spec validation — the hook the fault harness and tests use to inject
+	// slow or stuck venue loads. It runs on the registry's detached build
+	// goroutine, so a wedged Disturb stalls only that venue's load (callers
+	// waiting on it fail at their own deadlines), never the request path.
+	Disturb func()
 }
 
 // Build loads one venue: construct the estimator, force-build its
@@ -256,6 +268,9 @@ type BuildConfig struct {
 func Build(spec Spec, bcfg BuildConfig) (*Venue, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if bcfg.Disturb != nil {
+		bcfg.Disturb()
 	}
 	cfg := spec.EstimatorConfig()
 	cfg.Warm = bcfg.Warm
