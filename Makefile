@@ -7,11 +7,11 @@ GO ?= go
 # Packages that share state across goroutines — the estimator/solver caches
 # and the observability registry/tracer — the race gate hammers exactly these
 # so the full -race sweep stays affordable.
-RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/... ./internal/venue/...
+RACE_PKGS := ./internal/core/... ./internal/sparse/... ./internal/obs/... ./internal/quality/... ./internal/serve/... ./internal/venue/... ./internal/testbed/...
 
-.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke diag-smoke shard-smoke bless-shard
+.PHONY: check vet build test race bench bench-search profile experiments quality-gate bless-quality bless-batch serve-smoke bless-serve fuzz-smoke fault-gate bless-fault obs-smoke diag-smoke shard-smoke bless-shard track-smoke bless-track
 
-check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke diag-smoke shard-smoke
+check: vet build test race fuzz-smoke quality-gate fault-gate serve-smoke obs-smoke diag-smoke shard-smoke track-smoke
 
 vet:
 	$(GO) vet ./...
@@ -65,18 +65,21 @@ quality-gate:
 	$(GO) run ./cmd/roabench -fig all $(QUALITY_FLAGS) -artifact quality_current.json > /dev/null
 	$(GO) run ./cmd/roabench -compare BENCH_quality.json -artifact quality_current.json
 
-# Short fuzzing pass over the three attacker-facing decoders: the serve
-# wire format, the CSI admission sanitizer, and the quality artifact
-# loader. ~10 s per target; the committed corpora under testdata/fuzz/
-# also run as plain unit tests in `make test`. Go allows one -fuzz pattern
-# per invocation, hence three lines.
+# Short fuzzing pass over the attacker-facing decoders: the serve wire
+# formats (stateless and tracking), the CSI admission sanitizer, the quality
+# artifact loader, the event log, the venue manifest, and the trajectory
+# plan. ~10 s per target; the committed corpora under testdata/fuzz/ also
+# run as plain unit tests in `make test`. Go allows one -fuzz pattern per
+# invocation, hence one line each.
 FUZZ_TIME := 10s
 fuzz-smoke:
 	$(GO) test ./internal/serve/ -run XXX -fuzz '^FuzzRequestDecode$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/serve/ -run XXX -fuzz '^FuzzTrackRequestDecode$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/core/ -run XXX -fuzz '^FuzzSanitizeBurst$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/quality/ -run XXX -fuzz '^FuzzReadArtifact$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/obs/ -run XXX -fuzz '^FuzzEventDecode$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/venue/ -run XXX -fuzz '^FuzzVenueManifestDecode$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/testbed/ -run XXX -fuzz '^FuzzTrajectoryPlan$$' -fuzztime $(FUZZ_TIME)
 
 # Graceful-degradation regression gate: re-run the fault-injection sweep at
 # the baseline's recorded settings and compare against BENCH_fault.json.
@@ -115,6 +118,25 @@ diag-smoke:
 # 2-venue budget, clean drain).
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# End-to-end smoke of the tracking surface (roaserve with /v1/track session
+# limits, roaload -mode walk driving moving targets through sticky sessions,
+# RMSE + session-contract gates, roastat tracking rows, clean drain).
+track-smoke:
+	./scripts/track_smoke.sh
+
+# Flags the committed BENCH_track.json mobility baseline was recorded with.
+# 8 packets / 6 APs keep per-epoch fixes clean enough that the tracker's
+# prediction window holds its 10%-of-grid shrinkage claim (noisier fixes
+# inflate the NIS gate and the window with it).
+TRACK_FLAGS := -seed 7 -locations 12 -packets 8 -aps 6
+
+# Re-record the committed BENCH_track.json mobility baseline (stateless vs
+# tracked arms over one trajectory). The committed-artifact gate is
+# cmd/roabench TestCommittedTrackBaseline, part of `make test`. Review the
+# diff before committing.
+bless-track:
+	$(GO) run ./cmd/roabench -fig track $(TRACK_FLAGS) -artifact BENCH_track.json > /dev/null
 
 # Re-record the committed BENCH_shard.json sharding baseline (1-vs-2 lane
 # throughput, cache-churn leg, bit-identity proof). The committed-artifact

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"roarray/internal/quality"
+)
+
+// TestCommittedTrackBaseline gates the committed BENCH_track.json artifact
+// (produced by `make bless-track`): the prediction-shrunk search must hold
+// its speed claim — windowed epochs evaluate at most 10% of the full-search
+// grid at the median — without trading accuracy: the tracked arm's
+// along-track RMSE stays inside the stateless arm's meter-class tolerance
+// band, the window actually engages on a majority of eligible epochs, and
+// no accepted windowed fix diverged from the stateless full search.
+// Re-blessing an artifact that silently lost the shrinkage (or bought it
+// with accuracy) fails here instead of landing.
+func TestCommittedTrackBaseline(t *testing.T) {
+	art, err := quality.ReadFile("../../BENCH_track.json")
+	if err != nil {
+		t.Fatalf("read committed artifact: %v", err)
+	}
+	exp := art.Experiment("track")
+	if exp == nil {
+		t.Fatal("committed BENCH_track.json has no \"track\" experiment; re-bless with `make bless-track`")
+	}
+
+	need := func(name string) *quality.Aggregate {
+		t.Helper()
+		g := exp.Aggregate(name)
+		if g == nil {
+			t.Fatalf("committed artifact is missing the %q aggregate", name)
+		}
+		return g
+	}
+
+	cells, full := need("cells.windowed"), need("cells.full")
+	if full.Median <= 0 || cells.N == 0 {
+		t.Fatalf("cell aggregates degenerate: windowed n=%d, full median=%v", cells.N, full.Median)
+	}
+	if cells.Median > 0.10*full.Median {
+		t.Fatalf("windowed search p50 = %v cells exceeds 10%% of the %v-cell full grid — the shrinkage claim no longer holds",
+			cells.Median, full.Median)
+	}
+
+	epochs, windowed := need("epochs"), need("epochs.windowed")
+	// The first two epochs can never window (no velocity estimate yet); of
+	// the rest, a majority must have accepted the prediction window.
+	if eligible := epochs.Median - 2; windowed.Median < eligible/2 {
+		t.Fatalf("window engaged on %v of %v eligible epochs — prediction is thrashing into fallbacks",
+			windowed.Median, eligible)
+	}
+
+	rmseS, rmseT := need("rmse.stateless"), need("rmse.tracked")
+	if band := quality.DefaultTolerance("m").Abs; rmseT.Median > rmseS.Median+band {
+		t.Fatalf("tracked RMSE %v m outside the stateless band (%v m + %v m)",
+			rmseT.Median, rmseS.Median, band)
+	}
+
+	if mism := need("epochs.window_mismatch"); mism.Median != 0 {
+		t.Fatalf("%v accepted windowed fixes diverged from the stateless full search — windowing is trading accuracy",
+			mism.Median)
+	}
+
+	for _, name := range []string{"latency.stateless", "latency.tracked"} {
+		if lat := need(name); lat.N == 0 || lat.Median <= 0 {
+			t.Fatalf("%s aggregate degenerate: %+v", name, lat)
+		}
+	}
+}

@@ -27,6 +27,13 @@
 //     few venues are hot and a long tail is cold, so the server's LRU venue
 //     cache sees genuine churn. Payloads are synthesized per venue from the
 //     manifest geometry with per-venue seeds; arrivals follow -rate.
+//   - walk: -walkers concurrent moving targets, each walking a seeded
+//     waypoint trajectory through the preset's venue and streaming its
+//     epochs to /v1/track over one sticky session (server-minted session id,
+//     monotonic seq, per-epoch timestamps). The summary adds along-track
+//     RMSE against ground truth, windowed/fallback/re-acquisition counts,
+//     and a session-integrity error count; -max-rmse turns the RMSE into a
+//     gate.
 //
 // The request mix is -distinct synthetic workloads drawn from the same
 // preset the server was started with (dimensions must match), each from a
@@ -54,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roarray/internal/core"
 	"roarray/internal/obs"
 	"roarray/internal/serve"
 	"roarray/internal/testbed"
@@ -77,6 +85,18 @@ type Summary struct {
 	Venues  int              `json:"venues,omitempty"`
 	ZipfS   float64          `json:"zipfS,omitempty"`
 	VenueOK map[string]int64 `json:"venueOk,omitempty"`
+
+	// Walk mode only: walker/epoch shape, along-track accuracy of the
+	// smoothed estimates against ground truth, how the server's search split
+	// between windowed/fallback/re-acquired epochs, and session-integrity
+	// violations (session id drift, seq accepted out of order).
+	Walkers         int     `json:"walkers,omitempty"`
+	Epochs          int     `json:"epochs,omitempty"`
+	TrackRMSEM      float64 `json:"trackRmseM,omitempty"`
+	TrackWindowed   int64   `json:"trackWindowed,omitempty"`
+	TrackFallback   int64   `json:"trackFallback,omitempty"`
+	TrackReacquired int64   `json:"trackReacquired,omitempty"`
+	SessionErrors   int64   `json:"sessionErrors,omitempty"`
 
 	DurationSeconds float64 `json:"durationSeconds"`
 	Requests        int64   `json:"requests"`
@@ -118,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "", "target host:port of a running roaserve")
 	addrFile := fs.String("addr-file", "", "read the target address from this file (written by roaserve -addr-file)")
-	mode := fs.String("mode", "closed", `arrival model: "closed" (workers back-to-back), "open" (fixed rate), or "spike" (deliberate overload)`)
+	mode := fs.String("mode", "closed", `arrival model: "closed" (workers back-to-back), "open" (fixed rate), "spike" (deliberate overload), "swarm" (multi-venue mix), or "walk" (moving targets over /v1/track)`)
 	concurrency := fs.Int("concurrency", 8, "closed-loop worker count")
 	rate := fs.Float64("rate", 20, "open-loop arrival rate, requests/second")
 	duration := fs.Duration("duration", 5*time.Second, "how long to offer load")
@@ -136,10 +156,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	venuesFile := fs.String("venues", "", "venue manifest for swarm mode (must match the server's)")
 	zipfS := fs.Float64("zipf-s", 1.2, "swarm venue popularity skew (Zipf exponent, > 1)")
 	minVenues := fs.Int("min-venues", 0, "gate: fail unless at least this many distinct venues completed a request")
+	walkers := fs.Int("walkers", 4, "walk mode: concurrent moving targets")
+	epochs := fs.Int("epochs", 12, "walk mode: trajectory epochs per walker")
+	epochInterval := fs.Duration("epoch-interval", 0, "walk mode: client-side pause between a walker's epochs")
+	maxRMSE := fs.Float64("max-rmse", 0, "walk mode gate: fail if along-track RMSE exceeds this many meters (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *mode != "closed" && *mode != "open" && *mode != "spike" && *mode != "swarm" {
+	switch *mode {
+	case "closed", "open", "spike", "swarm", "walk":
+	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 	if *mode == "swarm" && *venuesFile == "" {
@@ -162,11 +188,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// The request mix: single-venue modes draw -distinct payloads from the
 	// preset's deployment; swarm mode synthesizes -distinct payloads per venue
-	// from the manifest's own geometry, each venue from its own seed stream.
+	// from the manifest's own geometry, each venue from its own seed stream;
+	// walk mode generates one seeded trajectory (and its per-epoch bursts)
+	// per walker.
 	var venueIDs []string
 	var venueBodies [][][]byte
 	var bodies [][]byte
-	if *mode == "swarm" {
+	var walks []*walkerLoad
+	if *mode == "walk" {
+		fmt.Fprintf(stderr, "roaload: building %d walker trajectories (%d epochs, preset %s, %d packets)...\n",
+			*walkers, *epochs, ps.Name, npackets)
+		walks, err = buildWalkers(ps, *walkers, *epochs, npackets, *seed, *deadlineMillis)
+		if err != nil {
+			return fmt.Errorf("synthesize walkers: %w", err)
+		}
+	} else if *mode == "swarm" {
 		man, err := venue.LoadManifest(*venuesFile)
 		if err != nil {
 			return err
@@ -226,8 +262,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "roaload: spike mode, %d workers\n", workers)
 	}
+	var ts trackStats
 	start := time.Now()
 	switch *mode {
+	case "walk":
+		runWalk(client, "http://"+target+"/v1/track", walks, *epochInterval, *duration, agg, &ts)
 	case "swarm":
 		runSwarm(client, url, venueIDs, venueBodies, *zipfS, *seed, *rate, *duration, *maxRequests, agg)
 	case "open":
@@ -243,6 +282,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch *mode {
 	case "open", "swarm":
 		sum.RateRPS = *rate
+	case "walk":
+		sum.Walkers = *walkers
+		sum.Epochs = *epochs
 	default:
 		sum.Concurrency = workers
 	}
@@ -252,6 +294,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *mode == "swarm" {
 		sum.Venues = len(venueIDs)
 		sum.ZipfS = *zipfS
+	}
+	if *mode == "walk" {
+		sum.TrackRMSEM = ts.rmse()
+		sum.TrackWindowed = ts.windowed.Load()
+		sum.TrackFallback = ts.fallback.Load()
+		sum.TrackReacquired = ts.reacquired.Load()
+		sum.SessionErrors = ts.sessionErrs.Load()
 	}
 
 	line, err := json.Marshal(sum)
@@ -298,6 +347,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if served < *minVenues {
 			return fmt.Errorf("gate: %d distinct venues served, need >= %d", served, *minVenues)
 		}
+	}
+	if sum.SessionErrors > 0 {
+		return fmt.Errorf("%d session-integrity violations (session id drift or broken seq handling)", sum.SessionErrors)
+	}
+	if *maxRMSE > 0 && sum.TrackRMSEM > *maxRMSE {
+		return fmt.Errorf("gate: along-track RMSE %.2f m, need <= %.2f m", sum.TrackRMSEM, *maxRMSE)
 	}
 	return nil
 }
@@ -525,6 +580,165 @@ func runOpen(client *http.Client, url string, bodies [][]byte, rate float64, d t
 		}()
 	}
 	wg.Wait()
+}
+
+// walkerLoad is one moving target's prepared workload: the wire-format epoch
+// requests (session id left blank — the server mints it on the first epoch)
+// and the ground-truth position per epoch.
+type walkerLoad struct {
+	epochs []*serve.TrackRequest
+	truth  []core.Point
+}
+
+// trackStats accumulates walk-mode outcomes across walker goroutines.
+type trackStats struct {
+	windowed    atomic.Int64
+	fallback    atomic.Int64
+	reacquired  atomic.Int64
+	sessionErrs atomic.Int64
+
+	mu    sync.Mutex
+	sumSq float64
+	n     int64
+}
+
+func (t *trackStats) observeErr(d float64) {
+	t.mu.Lock()
+	t.sumSq += d * d
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *trackStats) rmse() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return 0
+	}
+	return math.Sqrt(t.sumSq / float64(t.n))
+}
+
+// buildWalkers synthesizes one seeded trajectory per walker over the
+// preset's deployment, with per-epoch CSI bursts, ready to stream to
+// /v1/track. Walker w draws from its own seed stream, so a (seed, walkers,
+// epochs) triple is reproducible.
+func buildWalkers(ps *serve.Preset, walkers, epochs, packets int, seed int64, deadlineMillis float64) ([]*walkerLoad, error) {
+	out := make([]*walkerLoad, 0, walkers)
+	for wi := 0; wi < walkers; wi++ {
+		traj, err := ps.Deployment.GenerateTrajectory(testbed.TrajectoryPlan{Epochs: epochs}, seed+int64(wi)*101)
+		if err != nil {
+			return nil, fmt.Errorf("walker %d trajectory: %w", wi, err)
+		}
+		reqs, truth, err := ps.Deployment.TrajectoryRequests(traj, packets, testbed.ScenarioConfig{}, seed+int64(wi)*1000)
+		if err != nil {
+			return nil, fmt.Errorf("walker %d bursts: %w", wi, err)
+		}
+		wl := &walkerLoad{truth: truth}
+		for e, req := range reqs {
+			w := serve.FromCore(req)
+			w.DeadlineMillis = deadlineMillis
+			wl.epochs = append(wl.epochs, &serve.TrackRequest{
+				Request:  *w,
+				Seq:      int64(e + 1),
+				TSeconds: traj.Points[e].T,
+			})
+		}
+		out = append(out, wl)
+	}
+	return out, nil
+}
+
+// runWalk streams every walker's epochs concurrently, one sticky session per
+// walker: the first epoch lets the server mint the session id, later epochs
+// send it back with strictly increasing seqs. A failed epoch burns its seq
+// (the session survives; the epoch is not replayable) and the walk moves on.
+func runWalk(client *http.Client, url string, walks []*walkerLoad, interval, d time.Duration, agg *aggregator, ts *trackStats) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for _, wl := range walks {
+		wg.Add(1)
+		go func(wl *walkerLoad) {
+			defer wg.Done()
+			sid := ""
+			for e, tw := range wl.epochs {
+				if !time.Now().Before(deadline) {
+					return
+				}
+				tw.SessionID = sid
+				tr, ok := postTrackEpoch(client, url, tw, agg)
+				if ok {
+					switch {
+					case tr.SessionID == "":
+						ts.sessionErrs.Add(1)
+					case sid == "":
+						sid = tr.SessionID
+					case tr.SessionID != sid:
+						ts.sessionErrs.Add(1)
+					}
+					if tr.Seq != tw.Seq {
+						ts.sessionErrs.Add(1)
+					}
+					ts.observeErr(math.Hypot(tr.SmoothedX-wl.truth[e].X, tr.SmoothedY-wl.truth[e].Y))
+					if tr.Windowed {
+						ts.windowed.Add(1)
+					}
+					if tr.Fallback {
+						ts.fallback.Add(1)
+					}
+					if tr.Reacquired {
+						ts.reacquired.Add(1)
+					}
+				}
+				if interval > 0 && e < len(wl.epochs)-1 {
+					time.Sleep(interval)
+				}
+			}
+		}(wl)
+	}
+	wg.Wait()
+}
+
+// postTrackEpoch issues one tracking epoch and records its outcome in the
+// shared aggregator; ok is true only for a decoded 200.
+func postTrackEpoch(client *http.Client, url string, tw *serve.TrackRequest, agg *aggregator) (*serve.TrackResponse, bool) {
+	body, err := json.Marshal(tw)
+	if err != nil {
+		agg.record(-1, 0, nil, true, "")
+		return nil, false
+	}
+	rid := obs.NewRequestID()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		agg.record(-1, 0, nil, true, "")
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		agg.record(-1, 0, nil, true, "")
+		return nil, false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	latency := time.Since(t0)
+	if err != nil {
+		agg.record(-1, 0, nil, true, "")
+		return nil, false
+	}
+	idOK := resp.Header.Get("X-Request-Id") == rid
+	if resp.StatusCode != http.StatusOK {
+		agg.record(resp.StatusCode, latency, nil, idOK, "")
+		return nil, false
+	}
+	var tr serve.TrackResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		agg.record(-2, latency, nil, idOK, "")
+		return nil, false
+	}
+	agg.record(http.StatusOK, latency, &tr.Response, idOK && tr.RequestID == rid, "")
+	return &tr, true
 }
 
 // runSwarm: open-loop arrivals where each request's venue is drawn from a

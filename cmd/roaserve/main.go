@@ -16,6 +16,11 @@
 //
 //	POST /v1/localize — localize one request (see internal/serve.Request);
 //	                    concurrent requests are coalesced into micro-batches
+//	POST /v1/track    — localize one epoch of a moving target inside a sticky
+//	                    session (serve.TrackRequest): the server keeps a
+//	                    per-session tracker that shrinks the grid search to a
+//	                    prediction window; -track-ttl / -track-max-sessions
+//	                    bound the session table
 //	GET  /healthz     — liveness
 //	GET  /readyz      — readiness (503 once draining)
 //
@@ -80,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	batchLinger := fs.Duration("batch-linger", 2*time.Millisecond, "max time the dispatcher waits for a batch to fill")
 	queueDepth := fs.Int("queue-depth", 64, "admission queue bound; overflow answers 429")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side per-request budget (0 = none)")
+	trackTTL := fs.Duration("track-ttl", 0, "idle /v1/track session lifetime before eviction (0 = 5m default)")
+	trackMaxSessions := fs.Int("track-max-sessions", 0, "live /v1/track session cap; overflow answers 429 (0 = 4096 default)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	traceFile := fs.String("trace", "", "write a JSONL span trace of every request to this file")
@@ -231,6 +238,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		Search:             searchCfg,
 		RetryAfterFull:     ps.RetryAfterFull,
 		RetryAfterDraining: ps.RetryAfterDraining,
+		TrackSessionTTL:    *trackTTL,
+		TrackMaxSessions:   *trackMaxSessions,
 	})
 	if err != nil {
 		return err

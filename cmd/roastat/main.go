@@ -224,6 +224,7 @@ func render(w io.Writer, s *snapshot, label string) {
 	}
 
 	renderVenues(w, s)
+	renderTrack(w, s)
 
 	names := make([]string, 0, len(s.hists))
 	for name := range s.hists {
@@ -287,6 +288,32 @@ func renderVenues(w io.Writer, s *snapshot) {
 			if v, ok := s.scalars[row.metric]; ok {
 				fmt.Fprintf(w, "  %-26s %.0f\n", row.label, v)
 			}
+		}
+	}
+}
+
+// renderTrack prints the /v1/track session surface: epoch outcomes (windowed
+// vs fallback vs re-acquired), session lifecycle counts, and the live-session
+// gauge. The serve.track.* histograms (end-to-end latency and the windowed
+// cells fraction) render with the other distributions below.
+func renderTrack(w io.Writer, s *snapshot) {
+	if _, ok := s.scalars["serve.track.epochs_total"]; !ok {
+		return
+	}
+	fmt.Fprintln(w, "-- tracking --")
+	for _, row := range []struct{ metric, label string }{
+		{"serve.track.epochs_total", "epochs"},
+		{"serve.track.windowed_total", "windowed"},
+		{"serve.track.fallback_total", "fallbacks"},
+		{"serve.track.reacquired_total", "re-acquired"},
+		{"serve.track.rejected_out_of_order_total", "rejected (out of order)"},
+		{"serve.track.rejected_capacity_total", "rejected (capacity)"},
+		{"serve.track.sessions_started_total", "sessions started"},
+		{"serve.track.sessions_evicted_total", "sessions evicted"},
+		{"serve.track.sessions", "sessions live"},
+	} {
+		if v, ok := s.scalars[row.metric]; ok {
+			fmt.Fprintf(w, "  %-26s %.0f\n", row.label, v)
 		}
 	}
 }

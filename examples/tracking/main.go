@@ -40,6 +40,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Raw fixes from the low-SNR epochs carry meter-scale error; tell the
+	// innovation gate so ordinary noise is smoothed rather than treated as
+	// a track jump.
+	tracker.MeasStd = 1.0
 
 	// The client walks a straight line across the room, one position fix
 	// per second. Every third epoch the links drop into the low-SNR band,
@@ -74,10 +78,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		smooth, err := tracker.Update(tm, fix)
+		upd, err := tracker.Update(tm, fix)
 		if err != nil {
 			return err
 		}
+		smooth := upd.Smoothed
 		rawErr := fix.Dist(truth)
 		trackErr := smooth.Dist(truth)
 		rawSum += rawErr

@@ -295,23 +295,17 @@ func (e *Engine) LocalizeCtx(ctx context.Context, req *LocalizeRequest) (*Locali
 	return e.localize(ctx, req, e.workers)
 }
 
-// localize runs one request with the given degree of internal parallelism.
-// Cancellation contract: when ctx dies the call returns promptly with an
-// error wrapping ctx.Err() — before scheduling work if already dead, at the
-// next stage boundary during estimation, and within one grid column during
-// the Eq. 19 search. A timed-out request never yields a position.
-func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int) (*LocalizeResult, error) {
+// estimateLinks runs the per-AP estimation half of a request — validation,
+// the sanitize/solve/peak pipeline fanned over the worker pool — and
+// assembles the Eq. 19 observations. It is shared by the stateless and
+// tracked localization paths, which differ only in how they run the grid
+// search on the returned observations.
+func (e *Engine) estimateLinks(ctx context.Context, req *LocalizeRequest, workers int) (*LocalizeResult, []APObservation, error) {
 	if err := req.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: localize: %w", err)
-	}
-	ctx, sp := obs.StartSpan(ctx, "localize")
-	defer sp.End()
-	var t0 time.Time
-	if e.met != nil {
-		t0 = time.Now()
+		return nil, nil, fmt.Errorf("core: localize: %w", err)
 	}
 	out := &LocalizeResult{Links: make([]LinkResult, len(req.Links))}
 	inner := *e
@@ -324,7 +318,7 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 	// Fail the request rather than localizing from whatever links finished
 	// before the context died.
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: localize estimation aborted: %w", err)
+		return nil, nil, fmt.Errorf("core: localize estimation aborted: %w", err)
 	}
 	aps := make([]APObservation, len(req.Links))
 	for i, in := range req.Links {
@@ -336,12 +330,35 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 			Confidence: out.Links[i].Confidence,
 		}
 	}
-	scfg := e.est.cfg.Search
+	return out, aps, nil
+}
+
+// searchConfig resolves the grid-search configuration for one request.
+func (e *Engine) searchConfig(req *LocalizeRequest) SearchConfig {
 	if req.Search != nil {
-		scfg = *req.Search
+		return *req.Search
+	}
+	return e.est.cfg.Search
+}
+
+// localize runs one request with the given degree of internal parallelism.
+// Cancellation contract: when ctx dies the call returns promptly with an
+// error wrapping ctx.Err() — before scheduling work if already dead, at the
+// next stage boundary during estimation, and within one grid column during
+// the Eq. 19 search. A timed-out request never yields a position.
+func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int) (*LocalizeResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "localize")
+	defer sp.End()
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
+	}
+	out, aps, err := e.estimateLinks(ctx, req, workers)
+	if err != nil {
+		return nil, err
 	}
 	_, gsp := obs.StartSpan(ctx, "localize.grid")
-	pos, stats, err := LocalizeSearchCtx(ctx, aps, req.Bounds, req.Step, workers, scfg)
+	pos, stats, err := LocalizeSearchCtx(ctx, aps, req.Bounds, req.Step, workers, e.searchConfig(req))
 	gsp.End()
 	if err != nil {
 		return nil, err
@@ -358,6 +375,139 @@ func (e *Engine) localize(ctx context.Context, req *LocalizeRequest, workers int
 	return out, nil
 }
 
+// TrackResult is the outcome of one tracked localization epoch.
+type TrackResult struct {
+	// Fix is the per-epoch localization the filter absorbed. Its Position is
+	// the raw grid fix (windowed or full-grid — whichever was accepted) and
+	// its Search describes the accepted search.
+	Fix *LocalizeResult
+	// Track is the filter outcome after absorbing the fix.
+	Track TrackFix
+	// State is the filter state snapshot after the update, ready for a
+	// serving layer to persist for the next epoch.
+	State TrackState
+	// Windowed reports that the accepted fix came from the prediction-shrunk
+	// window search.
+	Windowed bool
+	// Fallback reports that a windowed attempt ran but was rejected (argmin
+	// on a window edge, or innovation outside the NIS gate) and the full
+	// search re-ran — the verified-fallback path.
+	Fallback bool
+	// WindowStats describes the rejected windowed attempt (zero unless
+	// Fallback), so the wasted work is visible to benchmarks.
+	WindowStats SearchStats
+}
+
+// LocalizeTracked is LocalizeTrackedCtx with a background context.
+func (e *Engine) LocalizeTracked(req *LocalizeRequest, tr *Tracker, t float64) (*TrackResult, error) {
+	return e.localizeTracked(context.Background(), req, tr, t, e.workers)
+}
+
+// LocalizeTrackedCtx runs one epoch of a tracked target: per-AP estimation
+// exactly as LocalizeCtx, then the Eq. 19 search constrained to the
+// tracker's predicted window when one is available. The windowed result is
+// accepted only when it lands strictly inside the window and passes the
+// tracker's NIS gate; otherwise the full configured search re-runs
+// (bit-identical to the stateless path by construction) before the filter
+// absorbs the fix. The tracker is mutated by the absorbed fix; on any error
+// it is left untouched.
+func (e *Engine) LocalizeTrackedCtx(ctx context.Context, req *LocalizeRequest, tr *Tracker, t float64) (*TrackResult, error) {
+	return e.localizeTracked(ctx, req, tr, t, e.workers)
+}
+
+func (e *Engine) localizeTracked(ctx context.Context, req *LocalizeRequest, tr *Tracker, t float64, workers int) (*TrackResult, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: tracked localize needs a tracker")
+	}
+	ctx, sp := obs.StartSpan(ctx, "localize.tracked")
+	defer sp.End()
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
+	}
+	fix, aps, err := e.estimateLinks(ctx, req, workers)
+	if err != nil {
+		return nil, err
+	}
+	scfg := e.searchConfig(req)
+	res := &TrackResult{}
+	var pos Point
+	var stats SearchStats
+	accepted := false
+	if win, ok := tr.PredictWindow(t, req.Step); ok {
+		wcfg := scfg
+		wcfg.Window = &win
+		_, gsp := obs.StartSpan(ctx, "localize.grid.window")
+		p, st, err := LocalizeSearchCtx(ctx, aps, req.Bounds, req.Step, workers, wcfg)
+		gsp.End()
+		if err != nil {
+			return nil, err
+		}
+		e.met.recordSearch(st)
+		if st.Mode == "window" {
+			// Verify: an interior argmin passing the NIS gate is provably
+			// the fix the full scan would pick inside the gate region; an
+			// edge hit or gate failure means the true optimum may lie
+			// outside the window, so the full search must decide.
+			nis, ok := tr.NISAt(t, p)
+			if ok && nis <= tr.GateNIS && !st.WindowEdge {
+				pos, stats, accepted = p, st, true
+				res.Windowed = true
+			} else {
+				res.Fallback = true
+				res.WindowStats = st
+			}
+		} else {
+			// The window missed the grid and the call degraded to the
+			// configured full-grid strategy — already a full answer.
+			pos, stats, accepted = p, st, true
+		}
+	}
+	if !accepted {
+		_, gsp := obs.StartSpan(ctx, "localize.grid")
+		p, st, err := LocalizeSearchCtx(ctx, aps, req.Bounds, req.Step, workers, scfg)
+		gsp.End()
+		if err != nil {
+			return nil, err
+		}
+		e.met.recordSearch(st)
+		pos, stats = p, st
+	}
+	fix.Position = pos
+	fix.Search = stats
+	tf, err := tr.Update(t, pos)
+	if err != nil {
+		return nil, err
+	}
+	res.Fix = fix
+	res.Track = tf
+	res.State = tr.State()
+	e.met.recordTrack(res)
+	if e.met != nil {
+		e.met.localizeSecs.ObserveExemplar(time.Since(t0).Seconds(), obs.RequestIDFrom(ctx))
+		e.met.requests.Inc()
+	}
+	return res, nil
+}
+
+// recordTrack notes one tracked epoch's window/fallback/re-acquisition
+// outcome, so an operator can see the prediction shrinkage paying off (or
+// thrashing into fallbacks).
+func (m *engineMetrics) recordTrack(res *TrackResult) {
+	if m == nil {
+		return
+	}
+	if res.Windowed {
+		m.reg.Counter("core.track.windowed_total").Inc()
+	}
+	if res.Fallback {
+		m.reg.Counter("core.track.fallback_total").Inc()
+	}
+	if res.Track.Reacquired {
+		m.reg.Counter("core.track.reacquired_total").Inc()
+	}
+}
+
 // recordSearch notes what the Eq. 19 grid search evaluated, so an operator
 // can see the coarse-to-fine pruning working (refine+coarse cells should sit
 // far below flat cells on production grids).
@@ -369,6 +519,8 @@ func (m *engineMetrics) recordSearch(stats SearchStats) {
 	case "coarse", "exact":
 		m.reg.Counter("core.search.coarse_cells").Add(int64(stats.CoarseCells))
 		m.reg.Counter("core.search.refine_cells").Add(int64(stats.RefineCells))
+	case "window":
+		m.reg.Counter("core.search.window_cells").Add(int64(stats.WindowCells))
 	default:
 		m.reg.Counter("core.search.flat_cells").Add(int64(stats.FlatCells))
 	}
@@ -411,8 +563,6 @@ func (e *Engine) LocalizeBatchCtx(ctx context.Context, reqs []*LocalizeRequest) 
 // taken down by one poisoned request. Results for non-aborted, non-panicked
 // slots remain bit-identical to serial Localize calls.
 func (e *Engine) LocalizeBatchEachCtx(ctx context.Context, reqs []*LocalizeRequest, reqCtxs []context.Context) (results []*LocalizeResult, errs []error) {
-	ctx, sp := obs.StartSpan(ctx, "localize.batch")
-	defer sp.End()
 	results = make([]*LocalizeResult, len(reqs))
 	errs = make([]error, len(reqs))
 	if reqCtxs != nil && len(reqCtxs) != len(reqs) {
@@ -422,25 +572,82 @@ func (e *Engine) LocalizeBatchEachCtx(ctx context.Context, reqs []*LocalizeReque
 		}
 		return results, errs
 	}
-	e.Map(len(reqs), func(i int) {
+	items := make([]BatchItem, len(reqs))
+	for i := range reqs {
+		items[i].Req = reqs[i]
+		if reqCtxs != nil {
+			items[i].Ctx = reqCtxs[i]
+		}
+	}
+	for i, out := range e.LocalizeBatchItems(ctx, items) {
+		results[i], errs[i] = out.Res, out.Err
+	}
+	return results, errs
+}
+
+// BatchItem is one slot of a mixed micro-batch: a localization request plus
+// an optional per-slot context and an optional tracking op. When Tracker is
+// non-nil the slot runs the tracked pipeline (prediction-shrunk search with
+// verified fallback, then a filter update at time T) instead of the
+// stateless one. The tracker must not be shared between concurrent slots;
+// the serving layer guarantees this by holding the session lock across the
+// epoch.
+type BatchItem struct {
+	Req *LocalizeRequest
+	// Ctx, when non-nil, replaces the batch context for this slot.
+	Ctx context.Context
+	// Tracker selects the tracked pipeline for this slot.
+	Tracker *Tracker
+	// T is the epoch timestamp handed to the tracker (seconds).
+	T float64
+}
+
+// BatchOutcome is the per-slot result of LocalizeBatchItems. Stateless
+// slots fill Res; tracked slots fill both Track and Res (Res aliases
+// Track.Fix, so either view works).
+type BatchOutcome struct {
+	Res   *LocalizeResult
+	Track *TrackResult
+	Err   error
+}
+
+// LocalizeBatchItems processes a mixed batch of stateless and tracked
+// requests concurrently across the worker pool, with the same span tree
+// ("localize.batch" root, "localize.req<i>" children), per-slot contexts,
+// and panic isolation as LocalizeBatchEachCtx. Results for non-aborted,
+// non-panicked slots are bit-identical to serial LocalizeCtx /
+// LocalizeTrackedCtx calls.
+func (e *Engine) LocalizeBatchItems(ctx context.Context, items []BatchItem) []BatchOutcome {
+	ctx, sp := obs.StartSpan(ctx, "localize.batch")
+	defer sp.End()
+	outs := make([]BatchOutcome, len(items))
+	e.Map(len(items), func(i int) {
 		// Each request runs its pipeline serially: the batch fan-out is the
 		// parallelism, and estimation is deterministic either way.
 		rctx := ctx
-		if reqCtxs != nil && reqCtxs[i] != nil {
-			rctx = reqCtxs[i]
+		if items[i].Ctx != nil {
+			rctx = items[i].Ctx
 		}
 		rctx, rsp := obs.StartSpanf(rctx, "localize.req%d", i)
 		defer rsp.End()
 		defer func() {
 			if r := recover(); r != nil {
-				results[i] = nil
-				errs[i] = fmt.Errorf("core: localize request %d panicked: %v", i, r)
+				outs[i] = BatchOutcome{Err: fmt.Errorf("core: localize request %d panicked: %v", i, r)}
 			}
 		}()
-		results[i], errs[i] = e.localize(rctx, reqs[i], 1)
+		if items[i].Tracker != nil {
+			tr, err := e.localizeTracked(rctx, items[i].Req, items[i].Tracker, items[i].T, 1)
+			if err != nil {
+				outs[i] = BatchOutcome{Err: err}
+				return
+			}
+			outs[i] = BatchOutcome{Res: tr.Fix, Track: tr}
+			return
+		}
+		outs[i].Res, outs[i].Err = e.localize(rctx, items[i].Req, 1)
 	})
 	if e.met != nil {
 		e.met.batches.Inc()
 	}
-	return results, errs
+	return outs
 }

@@ -111,3 +111,13 @@ func gridCount(lo, hi, step float64) int {
 	}
 	return n
 }
+
+// GridCells returns the total number of lattice points a full flat scan of
+// bounds at step would evaluate (step <= 0 selects the 0.1 m default) — the
+// denominator for window-shrinkage accounting in serving and benchmarks.
+func GridCells(bounds Rect, step float64) int {
+	if step <= 0 {
+		step = 0.1
+	}
+	return gridCount(bounds.MinX, bounds.MaxX, step) * gridCount(bounds.MinY, bounds.MaxY, step)
+}

@@ -81,6 +81,17 @@ type SearchConfig struct {
 	// MarginScale multiplies the Lipschitz safety margin; 1 (the default) is
 	// already provably safe, larger values only widen the refined set.
 	MarginScale float64
+	// Window, when non-nil, restricts the scan to the grid points inside the
+	// window rectangle intersected with the request bounds — on the same
+	// index lattice as the full scan, so equal indices give equal bits. This
+	// is the tracking fast path: the caller (Engine tracked localization)
+	// shrinks the Eq. 19 search to the predicted gate region and falls back
+	// to the full-grid strategy whenever the windowed argmin lands on a
+	// window edge interior to the grid (SearchStats.WindowEdge) or fails the
+	// innovation gate, so accuracy is never silently traded. An empty
+	// intersection ignores the window and runs the configured full-grid
+	// Mode.
+	Window *Rect
 }
 
 func (c SearchConfig) withDefaults() SearchConfig {
@@ -99,7 +110,7 @@ func (c SearchConfig) withDefaults() SearchConfig {
 // SearchStats reports what a localization search actually did.
 type SearchStats struct {
 	// Mode is the strategy that actually ran: "flat" (forced, degraded, or
-	// too-small grid), "coarse", or "exact".
+	// too-small grid), "coarse", "exact", or "window".
 	Mode string
 	// FlatCells is the full-resolution grid size nx*ny — what a flat scan
 	// would evaluate.
@@ -111,12 +122,22 @@ type SearchStats struct {
 	RefineCells int
 	// Candidates is the number of coarse cells selected for refinement.
 	Candidates int
+	// WindowCells is the number of cells evaluated in window mode.
+	WindowCells int
+	// WindowEdge reports that the windowed argmin landed on a window
+	// boundary that is interior to the full grid — the signal that the true
+	// optimum may lie outside the window and the caller must fall back to a
+	// full-grid search.
+	WindowEdge bool
 }
 
 // Evaluated returns the total number of cost evaluations performed.
 func (s SearchStats) Evaluated() int {
-	if s.Mode == "flat" {
+	switch s.Mode {
+	case "flat":
 		return s.FlatCells
+	case "window":
+		return s.WindowCells
 	}
 	return s.CoarseCells + s.RefineCells
 }
@@ -201,15 +222,16 @@ func (b idxBest) less(o idxBest) bool {
 	return b.iy < o.iy
 }
 
-// flatStrip scans the contiguous column strip [xLo, xHi) in nested x-then-y
-// order, polling ctx once per column, and returns the lexicographic best.
-func (g *gridSearch) flatStrip(xLo, xHi int) (idxBest, error) {
+// flatRange scans the index rectangle [xLo, xHi) x [yLo, yHi) in nested
+// x-then-y order, polling ctx once per column, and returns the
+// lexicographic best.
+func (g *gridSearch) flatRange(xLo, xHi, yLo, yHi int) (idxBest, error) {
 	best := noBest()
 	for ix := xLo; ix < xHi; ix++ {
 		if err := g.ctx.Err(); err != nil {
 			return best, fmt.Errorf("core: grid search aborted: %w", err)
 		}
-		for iy := 0; iy < g.ny; iy++ {
+		for iy := yLo; iy < yHi; iy++ {
 			// Within the ascending scan, strict < keeps the earliest index
 			// pair among equal costs — the lexicographic minimum.
 			if cost := g.costAt(ix, iy); cost < best.cost {
@@ -218,6 +240,59 @@ func (g *gridSearch) flatStrip(xLo, xHi int) (idxBest, error) {
 		}
 	}
 	return best, nil
+}
+
+// flatStrip scans the contiguous column strip [xLo, xHi) over the full y
+// range.
+func (g *gridSearch) flatStrip(xLo, xHi int) (idxBest, error) {
+	return g.flatRange(xLo, xHi, 0, g.ny)
+}
+
+// idxRange is the index-lattice footprint of a search window.
+type idxRange struct{ xLo, xHi, yLo, yHi int }
+
+// windowIndexRange maps a window rectangle onto the grid's index lattice:
+// the smallest/largest indices whose points fall inside the window,
+// clamped to the grid. ok is false when the intersection holds no grid
+// point.
+func (g *gridSearch) windowIndexRange(w Rect) (idxRange, bool) {
+	if w.MaxX < w.MinX || w.MaxY < w.MinY {
+		return idxRange{}, false
+	}
+	const eps = 1e-9
+	r := idxRange{
+		xLo: int(math.Ceil((w.MinX-g.bounds.MinX)/g.step - eps)),
+		xHi: int(math.Floor((w.MaxX-g.bounds.MinX)/g.step+eps)) + 1,
+		yLo: int(math.Ceil((w.MinY-g.bounds.MinY)/g.step - eps)),
+		yHi: int(math.Floor((w.MaxY-g.bounds.MinY)/g.step+eps)) + 1,
+	}
+	if r.xLo < 0 {
+		r.xLo = 0
+	}
+	if r.yLo < 0 {
+		r.yLo = 0
+	}
+	if r.xHi > g.nx {
+		r.xHi = g.nx
+	}
+	if r.yHi > g.ny {
+		r.yHi = g.ny
+	}
+	if r.xLo >= r.xHi || r.yLo >= r.yHi {
+		return idxRange{}, false
+	}
+	return r, true
+}
+
+// onWindowEdge reports whether best sits on a boundary of the index range
+// that is interior to the full grid — a window edge the true optimum could
+// lie beyond. Boundaries coinciding with the grid border are the room
+// walls, not window artifacts.
+func (g *gridSearch) onWindowEdge(best idxBest, r idxRange) bool {
+	return (best.ix == r.xLo && r.xLo > 0) ||
+		(best.ix == r.xHi-1 && r.xHi < g.nx) ||
+		(best.iy == r.yLo && r.yLo > 0) ||
+		(best.iy == r.yHi-1 && r.yHi < g.ny)
 }
 
 // flat runs the exhaustive legacy scan, fanned out over up to workers
@@ -503,6 +578,25 @@ func LocalizeSearchCtx(ctx context.Context, obs []APObservation, bounds Rect, st
 	}
 	cfg = cfg.withDefaults()
 	stats := SearchStats{FlatCells: g.nx * g.ny}
+
+	if cfg.Window != nil {
+		if r, ok := g.windowIndexRange(*cfg.Window); ok {
+			// Window mode: serial scan of the index sub-rectangle (windows
+			// are orders of magnitude smaller than the grid; fan-out would
+			// cost more than it saves). Same lattice, same tie-breaking —
+			// equal indices give bits equal to the full scan's.
+			stats.Mode = "window"
+			stats.WindowCells = (r.xHi - r.xLo) * (r.yHi - r.yLo)
+			best, err := g.flatRange(r.xLo, r.xHi, r.yLo, r.yHi)
+			if err != nil {
+				return Point{}, stats, err
+			}
+			stats.WindowEdge = g.onWindowEdge(best, r)
+			return g.pointAt(best.ix, best.iy), stats, nil
+		}
+		// Window misses the grid entirely — run the configured full-grid
+		// strategy instead of failing the request.
+	}
 
 	runFlat := func() (Point, SearchStats, error) {
 		stats.Mode = "flat"

@@ -31,7 +31,7 @@ func TestTrackerFirstFixPassesThrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.X != 3 || got.Y != 4 {
+	if got.Smoothed.X != 3 || got.Smoothed.Y != 4 {
 		t.Fatalf("first fix not passed through: %+v", got)
 	}
 }
@@ -50,6 +50,7 @@ func TestTrackerRejectsNonIncreasingTime(t *testing.T) {
 func TestTrackerSmoothsNoisyWalk(t *testing.T) {
 	rng := rand.New(rand.NewSource(500))
 	tr, _ := NewTracker(0.4, 0.1, 3)
+	tr.MeasStd = 0.8 // match the noise injected below so the gate stays open
 	var rawErr, smoothErr float64
 	n := 0
 	for step := 0; step <= 60; step++ {
@@ -62,7 +63,7 @@ func TestTrackerSmoothsNoisyWalk(t *testing.T) {
 		}
 		if step >= 15 { // skip convergence transient
 			rawErr += fix.Dist(truth)
-			smoothErr += got.Dist(truth)
+			smoothErr += got.Smoothed.Dist(truth)
 			n++
 		}
 	}
@@ -93,7 +94,10 @@ func TestTrackerGatesOutliers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Dist(Point{X: 5.1, Y: 5}) > 3 {
-		t.Fatalf("outlier teleported the track to %+v", got)
+	if !got.GateMiss {
+		t.Fatal("13 m jump did not trip the NIS gate")
+	}
+	if got.Smoothed.Dist(Point{X: 5.1, Y: 5}) > 3 {
+		t.Fatalf("outlier teleported the track to %+v", got.Smoothed)
 	}
 }

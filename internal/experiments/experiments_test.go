@@ -48,7 +48,7 @@ func TestRegistry(t *testing.T) {
 			t.Fatalf("figure %q not registered", id)
 		}
 	}
-	for _, id := range []string{"og", "ab", "fs", "fault"} {
+	for _, id := range []string{"og", "ab", "fs", "fault", "track"} {
 		if r, _ := Get(id); r == nil {
 			t.Fatalf("ablation %q not registered", id)
 		}
@@ -57,15 +57,15 @@ func TestRegistry(t *testing.T) {
 	if r != nil {
 		t.Fatal("unknown figure resolved")
 	}
-	if len(valid) != 13 {
-		t.Fatalf("valid list has %d entries, want 13", len(valid))
+	if len(valid) != 14 {
+		t.Fatalf("valid list has %d entries, want 14", len(valid))
 	}
-	// The fault sweep is addressable but must stay out of the "-fig all"
-	// sweep: its artifact gates against BENCH_fault.json, not the
-	// fault-free quality baseline.
+	// The fault sweep and track experiment are addressable but must stay out
+	// of the "-fig all" sweep: their artifacts gate against BENCH_fault.json
+	// and BENCH_track.json, not the fault-free quality baseline.
 	for _, id := range AllIDs() {
-		if id == "fault" {
-			t.Fatal(`"fault" leaked into AllIDs(); it would poison the quality baseline`)
+		if id == "fault" || id == "track" {
+			t.Fatalf("%q leaked into AllIDs(); it would poison the quality baseline", id)
 		}
 	}
 }

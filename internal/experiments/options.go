@@ -197,10 +197,11 @@ func Get(id string) (Runner, []string) {
 		"og": RunAblationOffGrid,
 		"ab": RunAblationSolvers,
 		"fs": RunAblationFusion,
-		// "fault" is addressable directly but excluded from AllIDs(): its
-		// artifact gates against BENCH_fault.json, not the fault-free
-		// quality baseline.
+		// "fault" and "track" are addressable directly but excluded from
+		// AllIDs(): their artifacts gate against BENCH_fault.json and
+		// BENCH_track.json respectively, not the fault-free quality baseline.
 		"fault": RunFaultSweep,
+		"track": RunTrack,
 	}
 	if r, ok := reg[id]; ok {
 		return r, nil

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"roarray/internal/quality"
+)
+
+// trackArtifact runs the mobility experiment at small-but-moving settings
+// with a recorder attached and returns the transcript and recorded
+// experiment. Locations doubles as the epoch count; 8 epochs give the
+// tracker enough history to open prediction windows.
+func trackArtifact(t *testing.T) (string, *quality.Experiment) {
+	t.Helper()
+	opt := tinyOptions()
+	opt.Locations = 8
+	opt.Recorder = quality.NewRecorder(nil)
+	var buf bytes.Buffer
+	if err := RunTrack(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	art := opt.Recorder.Artifact("test", opt.Seed, nil)
+	exp := art.Experiment("track")
+	if exp == nil {
+		t.Fatal("run did not record a \"track\" experiment")
+	}
+	return buf.String(), exp
+}
+
+// TestRunTrack is the mobility acceptance test: both arms localize every
+// epoch, the tracked arm engages the prediction window, the windowed
+// searches evaluate a small fraction of the grid, and the tracked RMSE stays
+// in the stateless arm's regime. RunTrack itself hard-fails if any
+// non-windowed tracked epoch diverges bitwise from the stateless arm — the
+// verified-fallback re-proof runs inside the experiment.
+func TestRunTrack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full mobility pipeline twice")
+	}
+	out, exp := trackArtifact(t)
+
+	for _, want := range []string{"stateless", "tracked", "rmse", "BENCH_track.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	epochs := exp.Aggregate("loc_err.stateless")
+	tracked := exp.Aggregate("loc_err.tracked")
+	if epochs == nil || tracked == nil {
+		t.Fatal("per-arm loc_err aggregates not recorded")
+	}
+	if epochs.N != 8 || tracked.N != 8 {
+		t.Fatalf("arm sample counts %d/%d, want 8", epochs.N, tracked.N)
+	}
+	windowedEpochs := exp.Aggregate("epochs.windowed")
+	if windowedEpochs == nil || windowedEpochs.Median < 1 {
+		t.Fatalf("prediction window never engaged: %+v", windowedEpochs)
+	}
+	cells := exp.Aggregate("cells.windowed")
+	full := exp.Aggregate("cells.full")
+	if cells == nil || full == nil || full.Median <= 0 {
+		t.Fatalf("cell aggregates not recorded: cells=%+v full=%+v", cells, full)
+	}
+	// The 18x12 room at 0.1 m steps has ~22k cells; a prediction window at
+	// walking speed must stay far below the committed 10% gate's ceiling.
+	if cells.Median > 0.10*full.Median {
+		t.Fatalf("windowed p50 %v cells exceeds 10%% of the %v-cell grid", cells.Median, full.Median)
+	}
+	// Accuracy: the tracked arm's median error stays within the stateless
+	// arm's meter-class tolerance band.
+	if tracked.Median > epochs.Median+quality.DefaultTolerance("m").Abs {
+		t.Fatalf("tracked median %v m outside the stateless band (stateless %v m)", tracked.Median, epochs.Median)
+	}
+	if lat := exp.Aggregate("latency.tracked"); lat == nil || lat.N != 8 {
+		t.Fatalf("tracked latency aggregate not recorded: %+v", lat)
+	}
+}

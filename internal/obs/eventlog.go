@@ -76,6 +76,19 @@ type RequestEvent struct {
 
 	// Est is the position estimate [x, y] in meters, present on "ok".
 	Est []float64 `json:"est,omitempty"`
+
+	// Session and Seq identify a tracking session epoch (/v1/track): Session
+	// is the sticky session id, Seq the client's epoch sequence number.
+	// Absent on stateless requests, so the record stays schema 1.
+	Session string `json:"session,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
+	// Windowed/TrackFallback/Reacquired report the tracked pipeline's search
+	// outcome for the epoch: prediction-shrunk window accepted, window
+	// rejected and full search re-ran, or the filter re-anchored after
+	// consecutive gate misses.
+	Windowed      bool `json:"windowed,omitempty"`
+	TrackFallback bool `json:"trackFallback,omitempty"`
+	Reacquired    bool `json:"reacquired,omitempty"`
 }
 
 // EventLog writes RequestEvents as JSONL, bounded and droppable: Log encodes

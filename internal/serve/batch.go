@@ -21,6 +21,13 @@ type pending struct {
 	// ctx is the fully merged per-request context: HTTP request context,
 	// effective deadline, and the server hard-stop.
 	ctx context.Context
+	// tracker, when non-nil, selects the tracked pipeline for this slot
+	// (/v1/track): prediction-shrunk search with verified fallback, then a
+	// filter update at epoch time t. The handler holds the session lock
+	// across the whole epoch, so the tracker is never shared between
+	// concurrent slots.
+	tracker *core.Tracker
+	t       float64
 	// done receives exactly one outcome; buffered so the dispatcher never
 	// blocks on a handler that is slow to collect.
 	done     chan outcome
@@ -29,7 +36,10 @@ type pending struct {
 
 // outcome is the dispatcher's answer to one pending request.
 type outcome struct {
-	res       *core.LocalizeResult
+	res *core.LocalizeResult
+	// track is the tracked-pipeline outcome; nil for stateless slots. Its
+	// Fix aliases res.
+	track     *core.TrackResult
 	err       error
 	batchSize int
 	// batchID numbers the flush that carried this request (1-based, shared
@@ -143,34 +153,34 @@ func (s *Server) flushGroup(batch []*pending, dequeued time.Time) {
 		s.met.batches.Inc()
 		s.met.batchSize.Observe(float64(len(batch)))
 	}
-	reqs := make([]*core.LocalizeRequest, len(batch))
-	ctxs := make([]context.Context, len(batch))
+	items := make([]core.BatchItem, len(batch))
 	for i, p := range batch {
-		reqs[i] = p.req
-		ctxs[i] = p.ctx
+		items[i] = core.BatchItem{Req: p.req, Ctx: p.ctx, Tracker: p.tracker, T: p.t}
 	}
-	results, errs := s.localizeBatch(batch[0].eng, reqs, ctxs)
+	outs := s.localizeBatch(batch[0].eng, items)
 	for i, p := range batch {
-		p.done <- outcome{res: results[i], err: errs[i], batchSize: len(batch), batchID: batchID, dequeued: dequeued}
+		p.done <- outcome{
+			res: outs[i].Res, track: outs[i].Track, err: outs[i].Err,
+			batchSize: len(batch), batchID: batchID, dequeued: dequeued,
+		}
 	}
 }
 
 // localizeBatch wraps the engine call so that a panic escaping the engine
 // itself (not one isolated per-request inside it) still answers the whole
 // batch instead of killing the dispatcher.
-func (s *Server) localizeBatch(eng *core.Engine, reqs []*core.LocalizeRequest, ctxs []context.Context) (results []*core.LocalizeResult, errs []error) {
+func (s *Server) localizeBatch(eng *core.Engine, items []core.BatchItem) (outs []core.BatchOutcome) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.panics.Add(1)
 			if s.met != nil {
 				s.met.panics.Inc()
 			}
-			results = make([]*core.LocalizeResult, len(reqs))
-			errs = make([]error, len(reqs))
-			for i := range errs {
-				errs[i] = fmt.Errorf("serve: batch flush panicked: %v", rec)
+			outs = make([]core.BatchOutcome, len(items))
+			for i := range outs {
+				outs[i].Err = fmt.Errorf("serve: batch flush panicked: %v", rec)
 			}
 		}
 	}()
-	return eng.LocalizeBatchEachCtx(s.hardCtx, reqs, ctxs)
+	return eng.LocalizeBatchItems(s.hardCtx, items)
 }

@@ -2,7 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"math"
+	"strings"
 	"testing"
+
+	"roarray/internal/obs"
 )
 
 // FuzzRequestDecode drives arbitrary bytes through the wire-format decode
@@ -46,6 +50,49 @@ func FuzzRequestDecode(f *testing.F) {
 		}
 		if len(back.Links) != len(cr.Links) {
 			t.Fatalf("round trip changed link count: %d -> %d", len(cr.Links), len(back.Links))
+		}
+	})
+}
+
+// FuzzTrackRequestDecode drives arbitrary bytes through the /v1/track decode
+// path: JSON unmarshal into TrackRequest (embedded Request plus session
+// fields), ValidateTrack, obs.SanitizeRequestID on the client-supplied
+// session id, then ToCore. None of it may panic, validated tracking fields
+// must be finite, and a sanitized session id must be idempotent under
+// re-sanitization (the handler echoes it back and honors it next epoch).
+func FuzzTrackRequestDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sessionId":"walker-1","seq":1,"tSeconds":0}`))
+	f.Add([]byte("{\"sessionId\":\"a b\tc\u0000d\",\"seq\":9007199254740993,\"tSeconds\":-1.5}"))
+	f.Add([]byte(`{"seq":-3,"tSeconds":1e308,"links":[]}`))
+	f.Add([]byte(`{"sessionId":"` + strings.Repeat("s", 200) + `","seq":2,"tSeconds":0.5,` +
+		`"links":[{"packets":[{"data":[[[1,0]]]}]},{"packets":[{"data":[[[0,1]]]}]}],` +
+		`"room":{"minX":0,"minY":0,"maxX":2,"maxY":2},"gridStepMeters":0.5}`))
+	f.Add([]byte(`{"sessionId":123}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var wreq TrackRequest
+		if err := json.Unmarshal(data, &wreq); err != nil {
+			return
+		}
+		sid := obs.SanitizeRequestID(wreq.SessionID)
+		if again := obs.SanitizeRequestID(sid); again != sid {
+			t.Fatalf("session id sanitization not idempotent: %q -> %q", sid, again)
+		}
+		if len(sid) > obs.MaxRequestIDLen {
+			t.Fatalf("sanitized session id too long: %d bytes", len(sid))
+		}
+		if err := wreq.ValidateTrack(); err != nil {
+			return
+		}
+		if math.IsNaN(wreq.TSeconds) || math.IsInf(wreq.TSeconds, 0) || wreq.Seq < 0 {
+			t.Fatalf("ValidateTrack accepted tSeconds=%v seq=%d", wreq.TSeconds, wreq.Seq)
+		}
+		// The embedded Request path must hold the same no-panic contract.
+		wreq.Dims()
+		wreq.Deadline()
+		if _, err := wreq.ToCore(); err != nil {
+			return
 		}
 	})
 }

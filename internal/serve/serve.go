@@ -109,6 +109,13 @@ type Config struct {
 	// observed — they spend the client's budget, not the server's. Bind it
 	// to Metrics to export the windows as burn-rate gauges.
 	SLO *obs.SLO
+	// TrackSessionTTL bounds how long an idle /v1/track session survives
+	// between epochs before lazy eviction reclaims it; <= 0 selects 5 m.
+	TrackSessionTTL time.Duration
+	// TrackMaxSessions caps live tracking sessions; <= 0 selects 4096. At
+	// capacity (after a forced sweep of expired sessions) new sessions
+	// answer 429.
+	TrackMaxSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +161,10 @@ type Stats struct {
 	Batched int64
 	// Panics counts recovered handler panics.
 	Panics int64
+	// TrackSessions is the current live /v1/track session count;
+	// TrackEpochs counts accepted tracking epochs over the lifetime.
+	TrackSessions int64
+	TrackEpochs   int64
 }
 
 // DrainReport summarizes a graceful drain.
@@ -188,6 +199,19 @@ type metrics struct {
 	failed       *obs.Counter
 	batches      *obs.Counter
 	panics       *obs.Counter
+
+	// serve.track.*: the RED row of the /v1/track session surface.
+	trackEpochs    *obs.Counter
+	trackWindowed  *obs.Counter
+	trackFallback  *obs.Counter
+	trackReacq     *obs.Counter
+	trackOutOfOrd  *obs.Counter
+	trackCapacity  *obs.Counter
+	trackStarted   *obs.Counter
+	trackEvicted   *obs.Counter
+	trackSessions  *obs.Gauge
+	trackE2E       *obs.Histogram
+	trackWindowEff *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -206,6 +230,18 @@ func newMetrics(reg *obs.Registry) *metrics {
 		failed:       reg.Counter("serve.failed_total"),
 		batches:      reg.Counter("serve.batches_total"),
 		panics:       reg.Counter("serve.panics_total"),
+
+		trackEpochs:    reg.Counter("serve.track.epochs_total"),
+		trackWindowed:  reg.Counter("serve.track.windowed_total"),
+		trackFallback:  reg.Counter("serve.track.fallback_total"),
+		trackReacq:     reg.Counter("serve.track.reacquired_total"),
+		trackOutOfOrd:  reg.Counter("serve.track.rejected_out_of_order_total"),
+		trackCapacity:  reg.Counter("serve.track.rejected_capacity_total"),
+		trackStarted:   reg.Counter("serve.track.sessions_started_total"),
+		trackEvicted:   reg.Counter("serve.track.sessions_evicted_total"),
+		trackSessions:  reg.Gauge("serve.track.sessions"),
+		trackE2E:       reg.Histogram("serve.track.e2e.seconds", obs.ExpBuckets(0.001, 2, 16)...),
+		trackWindowEff: reg.Histogram("serve.track.cells_fraction", obs.LinearBuckets(0.05, 0.05, 20)...),
 	}
 }
 
@@ -227,6 +263,9 @@ type Server struct {
 	met    *metrics
 	mux    *http.ServeMux
 
+	// sessions is the sticky /v1/track session store.
+	sessions *trackSessions
+
 	// venueMu guards the lazily-created per-venue metric handles.
 	venueMu  sync.Mutex
 	venueMet map[string]*venueMetrics
@@ -243,6 +282,7 @@ type Server struct {
 
 	accepted, finished atomic.Int64
 	completed, failed  atomic.Int64
+	trackEpochs        atomic.Int64
 	rejectedFull       atomic.Int64
 	rejectedDraining   atomic.Int64
 	batches, batched   atomic.Int64
@@ -286,8 +326,17 @@ func New(cfg Config) (*Server, error) {
 		base = obs.WithTracer(base, cfg.Tracer)
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(base)
+	sessions, err := newTrackSessions(cfg.TrackSessionTTL, cfg.TrackMaxSessions)
+	if err != nil {
+		return nil, err
+	}
+	if s.met != nil {
+		sessions.onEvict = func(n int64) { s.met.trackEvicted.Add(n) }
+	}
+	s.sessions = sessions
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/localize", s.handleLocalize)
+	s.mux.HandleFunc("/v1/track", s.handleTrack)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	var lanes sync.WaitGroup
@@ -336,6 +385,8 @@ func (s *Server) Stats() Stats {
 		Batches:           s.batches.Load(),
 		Batched:           s.batched.Load(),
 		Panics:            s.panics.Load(),
+		TrackSessions:     s.sessions.Sessions(),
+		TrackEpochs:       s.trackEpochs.Load(),
 	}
 }
 
@@ -477,57 +528,36 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	// venue's dictionaries on first touch, bounded by the deadline above);
 	// venue-less requests use the configured default engine. Dimensions are
 	// checked against whichever engine will actually run the request.
-	eng := s.cfg.Engine
-	antennas, subcarriers := s.antennas, s.subcarrier
-	if wreq.VenueID != "" {
-		if s.cfg.Venues == nil {
-			badRequest(http.StatusBadRequest, "venue", fmt.Sprintf(
-				"venueId %q: server is single-venue (no venue registry configured)", wreq.VenueID))
-			return
-		}
-		v, err := s.cfg.Venues.Get(rctx, wreq.VenueID)
-		if err != nil {
-			if errors.Is(err, venue.ErrUnknownVenue) {
-				// venueID stays empty: a client-invented id must never reach
-				// the per-venue metric namespace (each unique bogus id would
-				// permanently allocate metric handles — unauthenticated
-				// unbounded growth). The id still reaches the event log
-				// inside the error message.
-				badRequest(http.StatusNotFound, "venue_unknown", err.Error())
-				return
-			}
-			// Any other failure names a manifest venue (Get validates the id
-			// before building), so per-venue attribution is safe here.
-			venueID = wreq.VenueID
-			status, outcome := http.StatusInternalServerError, "error"
-			switch {
-			case errors.Is(err, context.DeadlineExceeded):
-				status, outcome = http.StatusGatewayTimeout, "deadline"
-			case errors.Is(err, context.Canceled):
-				status, outcome = http.StatusServiceUnavailable, "canceled"
-			}
-			writeError(w, status, err.Error())
-			s.cfg.SLO.Observe(false, time.Since(t0))
-			s.event(obs.RequestEvent{
-				ID: rid, Outcome: outcome, Status: status,
-				ErrorClass: "venue_load", Error: err.Error(), Venue: venueID,
-				DeadlineMillis: deadlineMs, TotalMillis: time.Since(t0).Seconds() * 1e3,
-			})
-			return
-		}
+	rv := s.resolveEngine(rctx, wreq.VenueID)
+	if rv.attribute {
 		venueID = wreq.VenueID
-		eng = v.Engine
-		ecfg := eng.Estimator().Config()
-		antennas, subcarriers = ecfg.Array.NumAntennas, ecfg.OFDM.NumSubcarriers
-	} else if eng == nil {
-		badRequest(http.StatusBadRequest, "venue",
-			"venueId required: server has no default engine")
+	}
+	if rv.err != nil {
+		if rv.status < http.StatusInternalServerError {
+			badRequest(rv.status, rv.class, rv.err.Error())
+			return
+		}
+		outcome := "error"
+		switch rv.status {
+		case http.StatusGatewayTimeout:
+			outcome = "deadline"
+		case http.StatusServiceUnavailable:
+			outcome = "canceled"
+		}
+		writeError(w, rv.status, rv.err.Error())
+		s.cfg.SLO.Observe(false, time.Since(t0))
+		s.event(obs.RequestEvent{
+			ID: rid, Outcome: outcome, Status: rv.status,
+			ErrorClass: rv.class, Error: rv.err.Error(), Venue: venueID,
+			DeadlineMillis: deadlineMs, TotalMillis: time.Since(t0).Seconds() * 1e3,
+		})
 		return
 	}
-	if m, l := wreq.Dims(); m != antennas || l != subcarriers {
+	eng := rv.eng
+	if m, l := wreq.Dims(); m != rv.antennas || l != rv.subcarriers {
 		badRequest(http.StatusBadRequest, "dimension", fmt.Sprintf(
 			"CSI is %dx%d (antennas x subcarriers), server is configured for %dx%d",
-			m, l, antennas, subcarriers))
+			m, l, rv.antennas, rv.subcarriers))
 		return
 	}
 
@@ -694,6 +724,65 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	ev.WarmEngaged = solve.Warm
 	ev.WarmRejected = solve.WarmRejected
 	s.event(ev)
+}
+
+// engineResolution classifies the outcome of mapping a request's venueId to
+// the engine that will run it. status/class describe a failure (err != nil):
+// 400/404 are client errors, 5xx server errors. attribute reports whether
+// the venue id is known to the manifest and therefore safe to attribute to
+// the per-venue metric namespace — a client-invented id must never mint
+// metric handles (each unique bogus id would permanently allocate them:
+// unauthenticated unbounded growth).
+type engineResolution struct {
+	eng                   *core.Engine
+	antennas, subcarriers int
+	status                int
+	class                 string
+	attribute             bool
+	err                   error
+}
+
+// resolveEngine resolves the engine serving a request: the venue's engine
+// (loading its dictionaries on first touch, bounded by ctx) when venueID is
+// non-empty, the configured default otherwise. Shared by /v1/localize and
+// /v1/track so both surfaces classify venue failures identically.
+func (s *Server) resolveEngine(ctx context.Context, venueID string) engineResolution {
+	r := engineResolution{eng: s.cfg.Engine, antennas: s.antennas, subcarriers: s.subcarrier}
+	if venueID == "" {
+		if r.eng == nil {
+			r.status, r.class = http.StatusBadRequest, "venue"
+			r.err = errors.New("venueId required: server has no default engine")
+		}
+		return r
+	}
+	if s.cfg.Venues == nil {
+		r.status, r.class = http.StatusBadRequest, "venue"
+		r.err = fmt.Errorf("venueId %q: server is single-venue (no venue registry configured)", venueID)
+		return r
+	}
+	v, err := s.cfg.Venues.Get(ctx, venueID)
+	if err != nil {
+		if errors.Is(err, venue.ErrUnknownVenue) {
+			r.status, r.class, r.err = http.StatusNotFound, "venue_unknown", err
+			return r
+		}
+		// Any other failure names a manifest venue (Get validates the id
+		// before building), so per-venue attribution is safe.
+		r.attribute = true
+		r.status, r.class, r.err = http.StatusInternalServerError, "venue_load", err
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			r.status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			r.status = http.StatusServiceUnavailable
+		}
+		return r
+	}
+	r.attribute = true
+	r.eng = v.Engine
+	ecfg := r.eng.Estimator().Config()
+	r.antennas, r.subcarriers = ecfg.Array.NumAntennas, ecfg.OFDM.NumSubcarriers
+	return r
 }
 
 // event stamps one wide-event record, folds it into the per-venue RED

@@ -47,47 +47,79 @@ func serveTestEngine(t testing.TB, workers int) *core.Engine {
 	return eng
 }
 
-// serveTestRequests synthesizes n requests over a 6 m x 5 m room with 3
-// wall APs, each request from its own seeded RNG so any subset reproduces.
-func serveTestRequests(t testing.TB, n, packets int, baseSeed int64) []*core.LocalizeRequest {
+// serveTestRoom and serveTestAPs are the fixed geometry behind the serve
+// test fixtures: a 6 m x 5 m room with 3 wall APs.
+var serveTestRoom = core.Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 5}
+
+var serveTestAPs = []struct {
+	pos  core.Point
+	axis float64
+}{
+	{core.Point{X: 0.1, Y: 2.5}, 90},
+	{core.Point{X: 5.9, Y: 2.5}, 90},
+	{core.Point{X: 3, Y: 0.1}, 0},
+}
+
+// serveTestRequestAt synthesizes one request for a client at a fixed
+// position, drawing burst noise and clutter from rng.
+func serveTestRequestAt(t testing.TB, client core.Point, packets int, rng *rand.Rand) *core.LocalizeRequest {
 	t.Helper()
 	arr := wireless.Intel5300Array()
 	ofdm := serveTestOFDM()
-	room := core.Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 5}
-	aps := []struct {
-		pos  core.Point
-		axis float64
-	}{
-		{core.Point{X: 0.1, Y: 2.5}, 90},
-		{core.Point{X: 5.9, Y: 2.5}, 90},
-		{core.Point{X: 3, Y: 0.1}, 0},
+	links := make([]core.LinkInput, len(serveTestAPs))
+	for i, ap := range serveTestAPs {
+		dist := ap.pos.Dist(client)
+		cfg := &wireless.ChannelConfig{
+			Array: arr,
+			OFDM:  ofdm,
+			Paths: []wireless.Path{
+				{AoADeg: core.ExpectedAoA(ap.pos, ap.axis, client), ToA: dist / wireless.SpeedOfLight, Gain: complex(1/dist, 0)},
+				{AoADeg: 30 + 120*rng.Float64(), ToA: (dist + 3) / wireless.SpeedOfLight, Gain: complex(0.3/dist, 0)},
+			},
+			SNRdB:             15,
+			MaxDetectionDelay: 60e-9,
+		}
+		burst, err := wireless.GenerateBurst(cfg, packets, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = core.LinkInput{Pos: ap.pos, AxisDeg: ap.axis, RSSIdBm: -50, Packets: burst}
 	}
+	return &core.LocalizeRequest{Links: links, Bounds: serveTestRoom, Step: 0.25}
+}
+
+// serveTestRequests synthesizes n requests over the test room, each request
+// from its own seeded RNG so any subset reproduces.
+func serveTestRequests(t testing.TB, n, packets int, baseSeed int64) []*core.LocalizeRequest {
+	t.Helper()
 	reqs := make([]*core.LocalizeRequest, n)
 	for r := 0; r < n; r++ {
 		rng := rand.New(rand.NewSource(baseSeed + int64(r)))
 		client := core.Point{X: 1 + 4*rng.Float64(), Y: 1 + 3*rng.Float64()}
-		links := make([]core.LinkInput, len(aps))
-		for i, ap := range aps {
-			dist := ap.pos.Dist(client)
-			cfg := &wireless.ChannelConfig{
-				Array: arr,
-				OFDM:  ofdm,
-				Paths: []wireless.Path{
-					{AoADeg: core.ExpectedAoA(ap.pos, ap.axis, client), ToA: dist / wireless.SpeedOfLight, Gain: complex(1/dist, 0)},
-					{AoADeg: 30 + 120*rng.Float64(), ToA: (dist + 3) / wireless.SpeedOfLight, Gain: complex(0.3/dist, 0)},
-				},
-				SNRdB:             15,
-				MaxDetectionDelay: 60e-9,
-			}
-			burst, err := wireless.GenerateBurst(cfg, packets, rng)
-			if err != nil {
-				t.Fatal(err)
-			}
-			links[i] = core.LinkInput{Pos: ap.pos, AxisDeg: ap.axis, RSSIdBm: -50, Packets: burst}
-		}
-		reqs[r] = &core.LocalizeRequest{Links: links, Bounds: room, Step: 0.25}
+		reqs[r] = serveTestRequestAt(t, client, packets, rng)
 	}
 	return reqs
+}
+
+// serveWalkRequests synthesizes one request per epoch for a target walking
+// a slow diagonal across the test room, 1 s per epoch. Returns the requests
+// and the true position at each epoch.
+func serveWalkRequests(t testing.TB, epochs, packets int, baseSeed int64) ([]*core.LocalizeRequest, []core.Point) {
+	t.Helper()
+	reqs := make([]*core.LocalizeRequest, epochs)
+	truth := make([]core.Point, epochs)
+	for e := 0; e < epochs; e++ {
+		rng := rand.New(rand.NewSource(baseSeed + int64(e)))
+		truth[e] = core.Point{X: 1.2 + 0.25*float64(e), Y: 1.5 + 0.15*float64(e)}
+		if truth[e].X > 5 {
+			truth[e].X = 5
+		}
+		if truth[e].Y > 4 {
+			truth[e].Y = 4
+		}
+		reqs[e] = serveTestRequestAt(t, truth[e], packets, rng)
+	}
+	return reqs, truth
 }
 
 // postLocalize marshals a wire request and POSTs it.

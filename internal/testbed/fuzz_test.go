@@ -1,0 +1,71 @@
+package testbed
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTrajectoryPlan hammers the trajectory generator config decoder the
+// way FuzzRequestDecode hammers the serve wire format: arbitrary JSON plans
+// (plus an arbitrary seed) must either be rejected by validation or
+// generate a trajectory that honors the geometry and kinematic contracts —
+// and never panic. The plan is operator-facing input (roaload -walk-plan,
+// experiment configs), so it gets the attacker-grade treatment.
+func FuzzTrajectoryPlan(f *testing.F) {
+	f.Add([]byte(`{}`), int64(1))
+	f.Add([]byte(`{"epochs":5,"epochSeconds":0.5,"speedMin":0.2,"speedMax":2,"maxTurnRateDeg":45,"dwellProb":0.3,"dwellEpochs":2,"margin":0.5}`), int64(7))
+	f.Add([]byte(`{"epochs":3,"start":{"X":9,"Y":6}}`), int64(42))
+	f.Add([]byte(`{"epochs":-1}`), int64(0))
+	f.Add([]byte(`{"speedMin":1e308,"speedMax":1e308}`), int64(3))
+	f.Add([]byte(`{"margin":1000}`), int64(5))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		var plan TrajectoryPlan
+		if err := json.Unmarshal(data, &plan); err != nil {
+			t.Skip()
+		}
+		d := Default()
+		// Unbounded epoch counts are valid plans but too slow to walk in a
+		// fuzz iteration; cap the work, not the validation surface.
+		if plan.Epochs > 5000 {
+			plan.Epochs = 5000
+		}
+		if plan.DwellEpochs > 5000 {
+			plan.DwellEpochs = 5000
+		}
+		traj, err := d.GenerateTrajectory(plan, seed)
+		if err != nil {
+			return // rejected — fine, as long as it didn't panic
+		}
+		full := traj.Plan
+		if len(traj.Points) != full.Epochs {
+			t.Fatalf("%d points for %d epochs", len(traj.Points), full.Epochs)
+		}
+		for i, wp := range traj.Points {
+			if !d.Room.Contains(wp.Pos) {
+				t.Fatalf("epoch %d escaped the room: %+v", i, wp.Pos)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := traj.Points[i-1]
+			if wp.T <= prev.T {
+				t.Fatalf("epoch %d: time did not increase (%v -> %v)", i, prev.T, wp.T)
+			}
+			dt := wp.T - prev.T
+			if dist := wp.Pos.Dist(prev.Pos); dist > full.SpeedMax*dt+1e-9 {
+				t.Fatalf("epoch %d: moved %v m in %v s (cap %v m/s)", i, dist, dt, full.SpeedMax)
+			}
+		}
+		// Accepted plans must round-trip through the generator
+		// deterministically: same bytes in, same trajectory out.
+		again, err := d.GenerateTrajectory(plan, seed)
+		if err != nil {
+			t.Fatalf("second generation of an accepted plan failed: %v", err)
+		}
+		ja, _ := json.Marshal(traj)
+		jb, _ := json.Marshal(again)
+		if string(ja) != string(jb) {
+			t.Fatal("same (plan, seed) produced different trajectory bytes")
+		}
+	})
+}

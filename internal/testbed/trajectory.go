@@ -1,0 +1,287 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roarray/internal/core"
+	"roarray/internal/wireless"
+)
+
+// TrajectoryPlan configures a seeded waypoint walk through the deployment:
+// a client that moves with bounded speed and turn rate, occasionally dwells
+// in place (the paper's "slowly moving and static objects" regime), and
+// bounces off a wall margin. The zero value selects a 20-epoch, 1 Hz walk
+// at pedestrian speeds. Like the fault injector plans, a (plan, seed) pair
+// is byte-reproducible: the same inputs always yield the same trajectory
+// and the same per-epoch CSI bursts.
+type TrajectoryPlan struct {
+	// Epochs is the number of position epochs to emit (default 20).
+	Epochs int `json:"epochs,omitempty"`
+	// EpochSeconds is the time between epochs (default 1.0 s).
+	EpochSeconds float64 `json:"epochSeconds,omitempty"`
+	// SpeedMin and SpeedMax bound the per-segment walking speed in m/s
+	// (defaults 0.4 and 1.4 — indoor pedestrian range).
+	SpeedMin float64 `json:"speedMin,omitempty"`
+	SpeedMax float64 `json:"speedMax,omitempty"`
+	// MaxTurnRateDeg bounds how fast the heading may change, in degrees per
+	// second (default 60).
+	MaxTurnRateDeg float64 `json:"maxTurnRateDeg,omitempty"`
+	// DwellProb is the per-epoch probability that the client stops and
+	// dwells (default 0.1; negative disables dwells).
+	DwellProb float64 `json:"dwellProb,omitempty"`
+	// DwellEpochs is how many epochs a dwell lasts (default 3).
+	DwellEpochs int `json:"dwellEpochs,omitempty"`
+	// Margin keeps the walk this far from the walls (default 1.0 m).
+	Margin float64 `json:"margin,omitempty"`
+	// Start, when non-nil, pins the walk's first position instead of
+	// drawing it inside the margin box.
+	Start *core.Point `json:"start,omitempty"`
+}
+
+// trajectory plan bounds: wide enough for any realistic workload, tight
+// enough that a fuzzer cannot request unbounded work or degenerate math.
+const (
+	maxTrajectoryEpochs = 100000
+	maxTrajectorySpeed  = 25.0
+)
+
+func (p TrajectoryPlan) withDefaults() TrajectoryPlan {
+	out := p
+	if out.Epochs == 0 {
+		out.Epochs = 20
+	}
+	if out.EpochSeconds == 0 {
+		out.EpochSeconds = 1.0
+	}
+	if out.SpeedMin == 0 && out.SpeedMax == 0 {
+		out.SpeedMin, out.SpeedMax = 0.4, 1.4
+	}
+	if out.MaxTurnRateDeg == 0 {
+		out.MaxTurnRateDeg = 60
+	}
+	if out.DwellProb == 0 {
+		out.DwellProb = 0.1
+	}
+	if out.DwellProb < 0 {
+		out.DwellProb = 0
+	}
+	if out.DwellEpochs == 0 {
+		out.DwellEpochs = 3
+	}
+	if out.Margin == 0 {
+		out.Margin = 1.0
+	}
+	return out
+}
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks a plan after defaulting. It is the fuzz target's
+// contract: any plan it accepts must generate without panicking and stay
+// inside the room.
+func (p TrajectoryPlan) Validate() error {
+	if p.Epochs < 1 || p.Epochs > maxTrajectoryEpochs {
+		return fmt.Errorf("testbed: trajectory epochs %d outside [1, %d]", p.Epochs, maxTrajectoryEpochs)
+	}
+	if !finite(p.EpochSeconds, p.SpeedMin, p.SpeedMax, p.MaxTurnRateDeg, p.DwellProb, p.Margin) {
+		return fmt.Errorf("testbed: non-finite trajectory plan field")
+	}
+	if p.EpochSeconds <= 0 || p.EpochSeconds > 3600 {
+		return fmt.Errorf("testbed: trajectory epoch interval %v outside (0, 3600] s", p.EpochSeconds)
+	}
+	if p.SpeedMin < 0 || p.SpeedMax < p.SpeedMin || p.SpeedMax > maxTrajectorySpeed {
+		return fmt.Errorf("testbed: trajectory speed bounds [%v, %v] invalid (want 0 <= min <= max <= %v)", p.SpeedMin, p.SpeedMax, maxTrajectorySpeed)
+	}
+	if p.MaxTurnRateDeg < 0 || p.MaxTurnRateDeg > 720 {
+		return fmt.Errorf("testbed: trajectory turn rate %v outside [0, 720] deg/s", p.MaxTurnRateDeg)
+	}
+	if p.DwellProb < 0 || p.DwellProb > 1 {
+		return fmt.Errorf("testbed: trajectory dwell probability %v outside [0, 1]", p.DwellProb)
+	}
+	if p.DwellEpochs < 0 || p.DwellEpochs > maxTrajectoryEpochs {
+		return fmt.Errorf("testbed: trajectory dwell length %d outside [0, %d]", p.DwellEpochs, maxTrajectoryEpochs)
+	}
+	if p.Margin < 0 {
+		return fmt.Errorf("testbed: negative trajectory margin %v", p.Margin)
+	}
+	if p.Start != nil && !finite(p.Start.X, p.Start.Y) {
+		return fmt.Errorf("testbed: non-finite trajectory start %+v", *p.Start)
+	}
+	return nil
+}
+
+// Waypoint is one epoch of ground truth along a trajectory.
+type Waypoint struct {
+	// T is the epoch timestamp in seconds from the walk's start.
+	T float64 `json:"t"`
+	// Pos is the client's true position at T.
+	Pos core.Point `json:"pos"`
+	// SpeedMps is the speed of the segment leaving this waypoint (zero
+	// while dwelling and at the final waypoint).
+	SpeedMps float64 `json:"speedMps"`
+	// HeadingDeg is the heading of the segment leaving this waypoint,
+	// degrees CCW from +x, normalized to [0, 360).
+	HeadingDeg float64 `json:"headingDeg"`
+	// Dwell reports that the client is dwelling at this epoch.
+	Dwell bool `json:"dwell,omitempty"`
+}
+
+// Trajectory is one generated walk: the defaulted plan it came from plus
+// the per-epoch ground truth.
+type Trajectory struct {
+	Plan   TrajectoryPlan `json:"plan"`
+	Points []Waypoint     `json:"points"`
+}
+
+// GenerateTrajectory builds a seeded waypoint walk inside the deployment
+// geometry. The same (plan, seed) always yields the same trajectory.
+func (d *Deployment) GenerateTrajectory(plan TrajectoryPlan, seed int64) (*Trajectory, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	p := plan.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// The walk lives in the room shrunk by the margin; a margin that leaves
+	// no interior collapses to the room center.
+	box := core.Rect{
+		MinX: d.Room.MinX + p.Margin, MinY: d.Room.MinY + p.Margin,
+		MaxX: d.Room.MaxX - p.Margin, MaxY: d.Room.MaxY - p.Margin,
+	}
+	if box.MaxX <= box.MinX || box.MaxY <= box.MinY {
+		cx := (d.Room.MinX + d.Room.MaxX) / 2
+		cy := (d.Room.MinY + d.Room.MaxY) / 2
+		box = core.Rect{MinX: cx, MinY: cy, MaxX: cx, MaxY: cy}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	pos := core.Point{
+		X: box.MinX + rng.Float64()*(box.MaxX-box.MinX),
+		Y: box.MinY + rng.Float64()*(box.MaxY-box.MinY),
+	}
+	if p.Start != nil {
+		pos = clampToRect(*p.Start, box)
+	}
+	heading := rng.Float64() * 360
+
+	traj := &Trajectory{Plan: p, Points: make([]Waypoint, p.Epochs)}
+	dwellLeft := 0
+	for e := 0; e < p.Epochs; e++ {
+		wp := Waypoint{T: float64(e) * p.EpochSeconds, Pos: pos}
+		// Decide the segment leaving this waypoint. The final waypoint has
+		// no outgoing segment; keep it a dwell-free zero-speed point.
+		if e < p.Epochs-1 {
+			if dwellLeft == 0 && rng.Float64() < p.DwellProb {
+				dwellLeft = p.DwellEpochs
+			}
+			if dwellLeft > 0 {
+				dwellLeft--
+				wp.Dwell = true
+			} else {
+				heading += (2*rng.Float64() - 1) * p.MaxTurnRateDeg * p.EpochSeconds
+				wp.SpeedMps = p.SpeedMin + rng.Float64()*(p.SpeedMax-p.SpeedMin)
+			}
+		}
+		wp.HeadingDeg = normDeg(heading)
+		traj.Points[e] = wp
+		if wp.SpeedMps > 0 {
+			pos, heading = advance(pos, heading, wp.SpeedMps*p.EpochSeconds, box)
+		}
+	}
+	return traj, nil
+}
+
+// advance moves dist meters along heading, reflecting off the walls of box
+// like a billiard so the walk stays inside without getting stuck in
+// corners.
+func advance(pos core.Point, headingDeg, dist float64, box core.Rect) (core.Point, float64) {
+	rad := headingDeg * math.Pi / 180
+	next := core.Point{X: pos.X + dist*math.Cos(rad), Y: pos.Y + dist*math.Sin(rad)}
+	if next.X < box.MinX || next.X > box.MaxX {
+		next.X = reflect1D(next.X, box.MinX, box.MaxX)
+		headingDeg = 180 - headingDeg
+	}
+	if next.Y < box.MinY || next.Y > box.MaxY {
+		next.Y = reflect1D(next.Y, box.MinY, box.MaxY)
+		headingDeg = -headingDeg
+	}
+	return clampToRect(next, box), normDeg(headingDeg)
+}
+
+// reflect1D folds v back into [lo, hi] by mirroring at the violated edge
+// (one bounce; callers clamp the residue of pathological steps).
+func reflect1D(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo + (lo - v)
+	}
+	if v > hi {
+		return hi - (v - hi)
+	}
+	return v
+}
+
+func clampToRect(p core.Point, r core.Rect) core.Point {
+	return core.Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}
+
+func normDeg(d float64) float64 {
+	d = math.Mod(d, 360)
+	if d < 0 {
+		d += 360
+	}
+	return d
+}
+
+// TrajectoryRequests builds one localization request per trajectory epoch:
+// the client at waypoint e, every AP link carrying a packets-deep CSI
+// burst. Epoch e draws everything from its own RNG seeded baseSeed + e
+// (mirroring BatchRequests), so any single epoch is reproducible in
+// isolation and the burst bytes do not depend on processing order.
+// packets <= 0 selects the paper's 15-packet working point. The returned
+// truth slice holds the ground-truth position per epoch.
+func (d *Deployment) TrajectoryRequests(traj *Trajectory, packets int, cfg ScenarioConfig, baseSeed int64) (reqs []*core.LocalizeRequest, truth []core.Point, err error) {
+	if traj == nil || len(traj.Points) == 0 {
+		return nil, nil, fmt.Errorf("testbed: empty trajectory")
+	}
+	if packets <= 0 {
+		packets = 15
+	}
+	reqs = make([]*core.LocalizeRequest, len(traj.Points))
+	truth = make([]core.Point, len(traj.Points))
+	for e, wp := range traj.Points {
+		rng := rand.New(rand.NewSource(baseSeed + int64(e)))
+		sc, err := d.GenerateScenario(wp.Pos, cfg, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("testbed: epoch %d: %w", e, err)
+		}
+		links := make([]core.LinkInput, len(sc.Links))
+		for i := range sc.Links {
+			burst, err := wireless.GenerateBurst(sc.Links[i].Channel, packets, rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("testbed: epoch %d AP %d: %w", e, i, err)
+			}
+			links[i] = core.LinkInput{
+				Pos:     sc.Links[i].AP.Pos,
+				AxisDeg: sc.Links[i].AP.AxisDeg,
+				RSSIdBm: sc.Links[i].RSSIdBm,
+				Packets: burst,
+			}
+		}
+		reqs[e] = &core.LocalizeRequest{Links: links, Bounds: d.Room, Step: 0.1}
+		truth[e] = wp.Pos
+	}
+	return reqs, truth, nil
+}

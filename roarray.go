@@ -396,8 +396,15 @@ func DefaultDeployment() *Deployment { return testbed.Default() }
 // Tracker smooths a sequence of localization fixes for a moving client.
 type Tracker = core.Tracker
 
-// NewTracker returns an alpha-beta position tracker (zeros select default
-// gains and a 2.5 m/s speed bound).
+// TrackFix is the outcome of absorbing one fix into a Tracker.
+type TrackFix = core.TrackFix
+
+// TrackState is a Tracker's serializable filter state (Tracker.State /
+// Tracker.Restore).
+type TrackState = core.TrackState
+
+// NewTracker returns a predict/update position tracker (zeros select
+// default gains and a 2.5 m/s speed bound).
 func NewTracker(alpha, beta, maxSpeed float64) (*Tracker, error) {
 	return core.NewTracker(alpha, beta, maxSpeed)
 }
